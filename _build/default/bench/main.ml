@@ -1,0 +1,375 @@
+(* Benchmark / reproduction harness: one target per table and figure of the
+   paper's evaluation (Section 6), plus Bechamel micro-benchmarks of the
+   core data structures.
+
+     dune exec bench/main.exe                 # all figures
+     dune exec bench/main.exe -- fig2         # one figure
+     dune exec bench/main.exe -- all --n 4000 --instances 100   # paper scale
+     dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
+
+   Absolute counts depend on the topology size (the paper used a ~27k-AS
+   RouteViews graph; the default here is 1000 ASes), so each table prints
+   the measured value, the measured ratio to the BGP bar, and the paper's
+   value and ratio: the ratios are the reproduction target. *)
+
+type config = {
+  n : int;
+  instances : int;
+  seed : int;
+  samples : int;
+  mrai : float;
+  csv_dir : string option;
+}
+
+let default_config =
+  { n = 1000; instances = 30; seed = 1; samples = 100; mrai = 30.; csv_dir = None }
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [fig1|fig2|fig3a|fig3b|node|policy|partial|overhead|delay|\n\
+    \                 ablation|motivation|all|micro]\n\
+    \                [--n N] [--instances I] [--seed S] [--samples K] [--mrai M]\n\
+    \                [--csv DIR]";
+  exit 2
+
+let parse_args () =
+  let target = ref "all" in
+  let cfg = ref default_config in
+  let rec loop = function
+    | [] -> ()
+    | "--n" :: v :: rest ->
+      cfg := { !cfg with n = int_of_string v };
+      loop rest
+    | "--instances" :: v :: rest ->
+      cfg := { !cfg with instances = int_of_string v };
+      loop rest
+    | "--seed" :: v :: rest ->
+      cfg := { !cfg with seed = int_of_string v };
+      loop rest
+    | "--samples" :: v :: rest ->
+      cfg := { !cfg with samples = int_of_string v };
+      loop rest
+    | "--mrai" :: v :: rest ->
+      cfg := { !cfg with mrai = float_of_string v };
+      loop rest
+    | "--csv" :: v :: rest ->
+      cfg := { !cfg with csv_dir = Some v };
+      loop rest
+    | name :: rest when name <> "" && name.[0] <> '-' ->
+      target := name;
+      loop rest
+    | _ -> usage ()
+  in
+  loop (List.tl (Array.to_list Sys.argv));
+  (!target, !cfg)
+
+let the_topology = ref None
+
+let topology cfg =
+  match !the_topology with
+  | Some t -> t
+  | None ->
+    let t = Topo_gen.generate (Topo_gen.default_params ~seed:cfg.seed ~n:cfg.n ()) in
+    Format.printf "topology: %a@.@." Topology.pp_stats t;
+    the_topology := Some t;
+    t
+
+let section title = Format.printf "=== %s ===@." title
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Format.printf "(%.1fs)@.@." (Unix.gettimeofday () -. t0);
+  r
+
+(* --- figure targets --------------------------------------------------- *)
+
+let fig1 cfg =
+  section "Figure 1: CDF of Phi_k (probability that all ASes get both colours)";
+  timed (fun () ->
+      let r =
+        Experiment.fig1 ~samples:cfg.samples
+          ~intelligent_samples:(max 10 (cfg.samples / 3))
+          ~seed:cfg.seed (topology cfg)
+      in
+      Format.printf "%a@." Report.pp_fig1 r)
+
+let write_csv cfg name content =
+  match cfg.csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (name ^ ".csv") in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    Format.printf "(wrote %s)@." path
+
+let bars cfg ~csv_name title scenario paper =
+  section title;
+  timed (fun () ->
+      let rows =
+        Experiment.failure_bars_stats ~instances:cfg.instances ~seed:cfg.seed
+          ~mrai_base:cfg.mrai ~scenario (topology cfg)
+      in
+      Format.printf "%a@." (Report.pp_bars_stats ~paper) rows;
+      write_csv cfg csv_name (Report.bars_to_csv rows))
+
+let fig2 cfg =
+  bars cfg ~csv_name:"fig2"
+    "Figure 2: ASes with transient problems, single provider-link failure"
+    Scenario.single_link Report.paper_fig2
+
+let fig3a cfg =
+  bars cfg ~csv_name:"fig3a"
+    "Figure 3(a): two failed links not connected to the same AS"
+    Scenario.two_links_apart Report.paper_fig3a
+
+let fig3b cfg =
+  bars cfg ~csv_name:"fig3b"
+    "Figure 3(b): two failed links connected to the same AS"
+    Scenario.two_links_shared Report.paper_fig3b
+
+let node cfg =
+  (* Section 6.2.2's closing remark: single node (AS) failures show the
+     same conclusions as Figure 3(b); reuse its paper column. *)
+  bars cfg ~csv_name:"node"
+    "Node failure: one provider of the origin fails entirely"
+    Scenario.node_failure Report.paper_fig3b
+
+let policy cfg =
+  section
+    "Policy-change event: the origin stops announcing to one provider \
+     (same event class as Figure 2, no physical failure)";
+  timed (fun () ->
+      let b =
+        Experiment.failure_bars ~instances:cfg.instances ~seed:cfg.seed
+          ~mrai_base:cfg.mrai ~scenario:Scenario.policy_withdraw (topology cfg)
+      in
+      Format.printf "%a@." Report.pp_bars_plain b)
+
+let partial cfg =
+  section "Section 6.3: partial deployment at tier-1 ASes only";
+  timed (fun () ->
+      let f = Experiment.partial_deployment (topology cfg) in
+      Format.printf
+        "fraction of destinations with two disjoint tier-1 downhill paths: \
+         %.3f   (paper: ~0.75)@."
+        f;
+      Format.printf "incremental deployment (STAMP at tiers <= k, static):@.";
+      List.iter
+        (fun (k, frac) ->
+          Format.printf "  k = %d : %5.1f%% of destinations protected@." k
+            (100. *. frac))
+        (Phi.deployment_curve (topology cfg) ~max_tier:3);
+      Format.printf
+        "incremental deployment (dynamic: avg transient ASes, single-link \
+         workload):@.";
+      let bgp_avg =
+        List.assoc Runner.Bgp
+          (Experiment.failure_bars
+             ~instances:(max 5 (cfg.instances / 3))
+             ~seed:cfg.seed ~scenario:Scenario.single_link (topology cfg))
+      in
+      Format.printf "  plain BGP        : %8.1f@." bgp_avg;
+      List.iter
+        (fun (k, avg) -> Format.printf "  STAMP at k <= %d  : %8.1f@." k avg)
+        (Experiment.partial_deployment_dynamic
+           ~instances:(max 5 (cfg.instances / 3))
+           ~seed:cfg.seed ~max_tier:2 (topology cfg)))
+
+let overhead_delay cfg =
+  section "Section 6.3: protocol message overhead and convergence delay";
+  timed (fun () ->
+      let rows =
+        Experiment.overhead_and_delay ~instances:cfg.instances ~seed:cfg.seed
+          ~mrai_base:cfg.mrai (topology cfg)
+      in
+      Format.printf "%a@." Report.pp_overhead rows)
+
+let ablation cfg =
+  section "Ablation: STAMP protocol variants (avg ASes with transient problems)";
+  timed (fun () ->
+      List.iter
+        (fun (label, avg) -> Format.printf "  %-45s %8.1f@." label avg)
+        (Experiment.ablation_stamp_variants
+           ~instances:(max 5 (cfg.instances / 2))
+           ~seed:cfg.seed (topology cfg)));
+  section
+    "Ablation: MRAI base interval (affected ASes / reconvergence delay)";
+  timed (fun () ->
+      List.iter
+        (fun (mrai, rows) ->
+          Format.printf "  MRAI base %5.1fs:" mrai;
+          List.iter
+            (fun (p, transients, delay) ->
+              Format.printf "  %s=%.1f/%.1fs" (Runner.protocol_name p)
+                transients delay)
+            rows;
+          Format.printf "@.")
+        (Experiment.ablation_mrai
+           ~instances:(max 5 (cfg.instances / 3))
+           ~seed:cfg.seed
+           ~values:[ 0.; 5.; 15.; 30.; 60. ]
+           (topology cfg)));
+  section
+    "Ablation: control-plane detection delay (data-plane fallbacks keep \
+     working)";
+  timed (fun () ->
+      List.iter
+        (fun (delay, bars) ->
+          Format.printf "  detect after %5.2fs:" delay;
+          List.iter
+            (fun (p, avg) ->
+              Format.printf "  %s=%.1f" (Runner.protocol_name p) avg)
+            bars;
+          Format.printf "@.")
+        (Experiment.ablation_detection
+           ~instances:(max 5 (cfg.instances / 3))
+           ~seed:cfg.seed
+           ~values:[ 0.; 0.5; 2.; 10. ]
+           (topology cfg)));
+  section "Ablation: topology-family sensitivity (single-link workload)";
+  timed (fun () ->
+      List.iter
+        (fun (label, bars) ->
+          Format.printf "  %-22s" label;
+          List.iter
+            (fun (p, avg) ->
+              Format.printf "  %s=%.1f" (Runner.protocol_name p) avg)
+            bars;
+          Format.printf "@.")
+        (Experiment.ablation_topology
+           ~instances:(max 4 (cfg.instances / 4))
+           ~seed:cfg.seed ~n:(min cfg.n 600) ()));
+  section "Ablation: transient-monitor probe interval (BGP)";
+  timed (fun () ->
+      List.iter
+        (fun (interval, avg) ->
+          Format.printf "  probe every %6.3fs: %8.1f affected ASes@." interval avg)
+        (Experiment.ablation_probe_interval
+           ~instances:(max 5 (cfg.instances / 3))
+           ~seed:cfg.seed
+           ~values:[ 0.01; 0.02; 0.05; 0.2; 1.0 ]
+           (topology cfg)))
+
+let motivation cfg =
+  section
+    "Motivation check (Section 1): share of packet-loss observations that \
+     are loops";
+  timed (fun () ->
+      List.iter
+        (fun (p, share) ->
+          Format.printf "  %-20s %s@." (Runner.protocol_name p)
+            (if Float.is_nan share then "no losses at all"
+             else Printf.sprintf "%5.1f%% of losses are loops" (100. *. share)))
+        (Experiment.motivation_loss_composition
+           ~instances:(max 5 (cfg.instances / 2))
+           ~seed:cfg.seed (topology cfg));
+      Format.printf
+        "  (measurement studies the paper cites attribute up to 90%% of \
+         convergence losses to loops)@.")
+
+(* --- Bechamel micro-benchmarks ---------------------------------------- *)
+
+let micro cfg =
+  let open Bechamel in
+  let t = topology cfg in
+  let dest = (Topology.multi_homed t).(0) in
+  let st = Random.State.make [| cfg.seed |] in
+  let bench_decision =
+    let routes =
+      List.init 16 (fun i ->
+          {
+            Route.as_path = List.init ((i mod 5) + 1) (fun j -> i + j + 1);
+            cls =
+              (match i mod 3 with
+              | 0 -> Relationship.Customer
+              | 1 -> Relationship.Peer
+              | _ -> Relationship.Provider);
+          })
+    in
+    Test.make ~name:"decision_process_16_routes"
+      (Staged.stage (fun () -> ignore (Decision.select routes)))
+  in
+  let bench_heap =
+    Test.make ~name:"event_heap_push_pop_1k"
+      (Staged.stage (fun () ->
+           let h = Event_heap.create () in
+           for i = 0 to 999 do
+             Event_heap.push h ~time:(float_of_int ((i * 7919) mod 997)) i
+           done;
+           while Event_heap.pop_min h <> None do
+             ()
+           done))
+  in
+  let bench_oracle =
+    Test.make ~name:"static_oracle_fixed_point"
+      (Staged.stage (fun () -> ignore (Static_route.compute t ~dest)))
+  in
+  let bench_phi =
+    Test.make ~name:"phi_one_destination_20_samples"
+      (Staged.stage (fun () -> ignore (Phi.phi ~samples:20 st t ~dest)))
+  in
+  let bench_walk =
+    let sim = Sim.create ~seed:cfg.seed () in
+    let net = Bgp_net.create sim t ~dest () in
+    Bgp_net.start net;
+    Sim.run sim;
+    Test.make ~name:"forwarding_walk_all_ases"
+      (Staged.stage (fun () -> ignore (Bgp_net.walk_all net)))
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg_b =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    Benchmark.all cfg_b instances test
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true
+        ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  section "Bechamel micro-benchmarks (ns/run)";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some (e :: _) -> Format.printf "%-36s %12.1f ns/run@." name e
+          | Some [] | None -> Format.printf "%-36s (no estimate)@." name)
+        results)
+    [ bench_decision; bench_heap; bench_oracle; bench_phi; bench_walk ]
+
+(* --- main ---------------------------------------------------------------- *)
+
+let () =
+  let target, cfg = parse_args () in
+  match target with
+  | "fig1" -> fig1 cfg
+  | "fig2" -> fig2 cfg
+  | "fig3a" -> fig3a cfg
+  | "fig3b" -> fig3b cfg
+  | "node" -> node cfg
+  | "policy" -> policy cfg
+  | "partial" -> partial cfg
+  | "overhead" | "delay" -> overhead_delay cfg
+  | "ablation" -> ablation cfg
+  | "motivation" -> motivation cfg
+  | "micro" -> micro cfg
+  | "all" ->
+    fig1 cfg;
+    fig2 cfg;
+    fig3a cfg;
+    fig3b cfg;
+    node cfg;
+    policy cfg;
+    partial cfg;
+    overhead_delay cfg;
+    motivation cfg;
+    ablation cfg
+  | _ -> usage ()

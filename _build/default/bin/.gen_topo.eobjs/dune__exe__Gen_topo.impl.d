@@ -1,0 +1,1 @@
+bin/gen_topo.ml: Arg Cmd Cmdliner Format Term Topo_gen Topo_io Topology

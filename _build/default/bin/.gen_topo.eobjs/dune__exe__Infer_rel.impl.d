@@ -1,0 +1,1 @@
+bin/infer_rel.ml: Arg Cmd Cmdliner Format Gao_inference List Term Topo_io Topology

@@ -1,0 +1,1 @@
+bin/infer_rel.mli:

@@ -1,0 +1,1 @@
+bin/sim_run.ml: Arg Cmd Cmdliner Fmt Format List Printf Random Runner Scenario String Term Topo_gen Topo_io Topology

@@ -1,0 +1,60 @@
+(* Infer AS relationships from AS-path data with Gao's algorithm and write
+   a CAIDA serial-1 relationship file.
+
+     dune exec bin/infer_rel.exe -- paths.txt -o relationships.txt
+
+   The input has one AS path per line (vantage point first, origin last),
+   e.g. extracted from RouteViews table dumps. *)
+
+open Cmdliner
+
+let run input output ratio truth =
+  let paths = Topo_io.load_paths input in
+  Format.eprintf "loaded %d paths@." (List.length paths);
+  let verdicts = Gao_inference.infer ~peer_degree_ratio:ratio paths in
+  let topo = Gao_inference.to_topology verdicts in
+  (match output with
+  | Some path ->
+    Topo_io.save_relationships topo path;
+    Format.printf "wrote %s@." path
+  | None -> print_string (Topo_io.relationships_to_string topo));
+  Format.eprintf "%a@." Topology.pp_stats topo;
+  (match truth with
+  | Some path ->
+    let t = Topo_io.load_relationships path in
+    Format.eprintf "agreement with ground truth: %.3f@."
+      (Gao_inference.agreement t verdicts)
+  | None -> ());
+  0
+
+let input =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PATHS" ~doc:"AS-path file (one path per line).")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Relationship file to write (stdout if omitted).")
+
+let ratio =
+  Arg.(
+    value & opt float 60.
+    & info [ "peer-ratio" ] ~docv:"R"
+        ~doc:"Maximum degree ratio for peer classification.")
+
+let truth =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "truth" ] ~docv:"FILE"
+        ~doc:"Ground-truth relationship file to score agreement against.")
+
+let cmd =
+  let doc = "infer AS relationships from AS paths (Gao's algorithm)" in
+  Cmd.v (Cmd.info "infer_rel" ~doc) Term.(const run $ input $ output $ ratio $ truth)
+
+let () = exit (Cmd.eval' cmd)

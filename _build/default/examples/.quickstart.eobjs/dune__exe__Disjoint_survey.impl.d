@@ -1,0 +1,1 @@
+examples/disjoint_survey.ml: Array Cdf Coloring Format List Phi Random Stat Sys Topo_gen Topology

@@ -1,0 +1,1 @@
+examples/inference_pipeline.ml: Array Filename Format Gao_inference List Relationship Sys Topo_gen Topo_io Topology Vantage

@@ -1,0 +1,1 @@
+examples/inference_pipeline.mli:

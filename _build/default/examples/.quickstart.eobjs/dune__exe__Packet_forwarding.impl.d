@@ -1,0 +1,1 @@
+examples/packet_forwarding.ml: Array Fleet Format List Lpm Prefix Random Stat String Sys Topo_gen Topology

@@ -1,0 +1,1 @@
+examples/partial_deployment.ml: Array Format List Phi Random Stat Sys Topo_gen Topology

@@ -1,0 +1,1 @@
+examples/provider_failure.ml: Array Bgp_net Coloring Float Format Fwd_walk Hashtbl List Random Rbgp_net Runner Scenario Sim Stamp_net Sys Topo_gen Topology

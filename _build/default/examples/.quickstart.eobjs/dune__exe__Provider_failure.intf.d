@@ -1,0 +1,1 @@
+examples/provider_failure.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bgp_net Color Coloring Format Fwd_walk List Option Sim Stamp_net Topology

@@ -1,0 +1,1 @@
+lib/analysis/experiment.ml: Array Cdf Coloring List Phi Random Runner Scenario Stat Tiers Topo_gen Traffic

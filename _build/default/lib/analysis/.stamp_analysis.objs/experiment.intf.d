@@ -1,0 +1,1 @@
+lib/analysis/experiment.mli: Cdf Random Runner Scenario Stat Topology

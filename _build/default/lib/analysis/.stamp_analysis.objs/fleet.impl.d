@@ -1,0 +1,1 @@
+lib/analysis/fleet.ml: Array List Lpm Option Prefix Static_route Topology

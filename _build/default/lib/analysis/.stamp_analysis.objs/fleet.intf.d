@@ -1,0 +1,1 @@
+lib/analysis/fleet.mli: Lpm Prefix Topology

@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Buffer Cdf Experiment Float Format List Printf Runner Stat

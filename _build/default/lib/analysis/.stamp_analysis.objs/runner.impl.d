@@ -1,0 +1,1 @@
+lib/analysis/runner.ml: Array Bgp_net Coloring Float Fwd_walk Hybrid_net List Rbgp_net Scenario Sim Stamp_net Topology Traffic Transient

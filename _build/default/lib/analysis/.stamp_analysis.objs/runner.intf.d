@@ -1,0 +1,1 @@
+lib/analysis/runner.mli: Coloring Scenario Topology Traffic

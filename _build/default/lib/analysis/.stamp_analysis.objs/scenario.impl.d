@@ -1,0 +1,1 @@
+lib/analysis/scenario.ml: Array Format List Printf Random Tiers Topology

@@ -1,0 +1,1 @@
+lib/analysis/scenario.mli: Format Random Topology

@@ -1,0 +1,1 @@
+lib/analysis/traffic.ml: Array Fwd_walk Hashtbl List Sim

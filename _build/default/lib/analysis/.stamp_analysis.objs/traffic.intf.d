@@ -1,0 +1,1 @@
+lib/analysis/traffic.mli: Fwd_walk Sim

@@ -1,0 +1,1 @@
+lib/analysis/transient.ml: Array Fwd_walk Sim

@@ -1,0 +1,1 @@
+lib/analysis/transient.mli: Fwd_walk Sim

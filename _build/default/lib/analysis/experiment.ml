@@ -1,0 +1,242 @@
+type fig1_result = {
+  cdf : Cdf.t;
+  mean_random : float;
+  mean_intelligent : float;
+  frac_below_07 : float;
+  frac_above_09 : float;
+}
+
+let fig1 ?(samples = 100) ?(intelligent_samples = 30) ?(seed = 1) topo =
+  let st = Random.State.make [| seed |] in
+  let phis = Phi.phi_all ~samples st topo in
+  let st' = Random.State.make [| seed + 1 |] in
+  let phis_intelligent =
+    Phi.phi_all ~samples:intelligent_samples
+      ~selection:Phi.Intelligent_selection st' topo
+  in
+  let values = Array.to_list phis in
+  let cdf = Cdf.of_samples values in
+  {
+    cdf;
+    mean_random = Cdf.mean cdf;
+    mean_intelligent = Stat.mean (Array.to_list phis_intelligent);
+    frac_below_07 = Cdf.fraction_at_most cdf 0.7;
+    frac_above_09 = 1. -. Cdf.fraction_at_most cdf 0.9;
+  }
+
+type bars = (Runner.protocol * float) list
+
+let failure_bars ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
+    ?(interval = 0.02) ~scenario topo =
+  let st = Random.State.make [| seed |] in
+  let specs = List.init instances (fun _ -> scenario st topo) in
+  List.map
+    (fun protocol ->
+      let total =
+        List.fold_left
+          (fun acc (i, spec) ->
+            let r =
+              Runner.run ~seed:(seed + i) ~mrai_base ~interval protocol topo
+                spec
+            in
+            acc + r.Runner.transient_count)
+          0
+          (List.mapi (fun i s -> (i, s)) specs)
+      in
+      (protocol, float_of_int total /. float_of_int instances))
+    Runner.all_protocols
+
+let failure_bars_stats ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
+    ?(interval = 0.02) ~scenario topo =
+  let st = Random.State.make [| seed |] in
+  let specs = List.init instances (fun i -> (i, scenario st topo)) in
+  List.map
+    (fun protocol ->
+      let counts =
+        List.map
+          (fun (i, spec) ->
+            float_of_int
+              (Runner.run ~seed:(seed + i) ~mrai_base ~interval protocol topo
+                 spec)
+                .Runner.transient_count)
+          specs
+      in
+      (protocol, Stat.summarize counts))
+    Runner.all_protocols
+
+type overhead_result = {
+  protocol : Runner.protocol;
+  avg_messages_initial : float;
+  avg_messages_event : float;
+  avg_delay : float;
+  avg_recovery : float;
+}
+
+let overhead_and_delay ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
+    ?(interval = 0.02) topo =
+  let st = Random.State.make [| seed |] in
+  let specs = List.init instances (fun _ -> Scenario.single_link st topo) in
+  List.map
+    (fun protocol ->
+      let results =
+        List.mapi
+          (fun i spec ->
+            Runner.run ~seed:(seed + i) ~mrai_base ~interval protocol topo spec)
+          specs
+      in
+      let favg f =
+        Stat.mean (List.map (fun r -> float_of_int (f r)) results)
+      in
+      {
+        protocol;
+        avg_messages_initial = favg (fun r -> r.Runner.messages_initial);
+        avg_messages_event = favg (fun r -> r.Runner.messages_event);
+        avg_delay =
+          Stat.mean (List.map (fun r -> r.Runner.convergence_delay) results);
+        avg_recovery =
+          Stat.mean (List.map (fun r -> r.Runner.recovery_delay) results);
+      })
+    Runner.all_protocols
+
+let partial_deployment = Phi.partial_deployment_tier1
+
+let single_link_specs ~instances ~seed topo =
+  let st = Random.State.make [| seed |] in
+  List.init instances (fun i -> (i, Scenario.single_link st topo))
+
+let partial_deployment_dynamic ?(instances = 10) ?(seed = 1) ?(mrai_base = 30.)
+    ~max_tier topo =
+  let specs = single_link_specs ~instances ~seed topo in
+  let tiers = Tiers.classify topo in
+  List.init (max_tier + 1) (fun k ->
+      let total =
+        List.fold_left
+          (fun acc (i, spec) ->
+            acc
+            + (Runner.run_hybrid ~seed:(seed + i) ~mrai_base
+                 ~deployed:(fun v -> tiers.(v) <= k)
+                 topo spec)
+                .Runner.transient_count)
+          0 specs
+      in
+      (k, float_of_int total /. float_of_int instances))
+
+let ablation_mrai ?(instances = 10) ?(seed = 1) ~values topo =
+  let specs = single_link_specs ~instances ~seed topo in
+  List.map
+    (fun mrai_base ->
+      let rows =
+        List.map
+          (fun protocol ->
+            let results =
+              List.map
+                (fun (i, spec) ->
+                  Runner.run ~seed:(seed + i) ~mrai_base protocol topo spec)
+                specs
+            in
+            let avg f = Stat.mean (List.map f results) in
+            ( protocol,
+              avg (fun r -> float_of_int r.Runner.transient_count),
+              avg (fun r -> r.Runner.convergence_delay) ))
+          Runner.all_protocols
+      in
+      (mrai_base, rows))
+    values
+
+let ablation_stamp_variants ?(instances = 15) ?(seed = 1) topo =
+  let specs = single_link_specs ~instances ~seed topo in
+  let avg run =
+    let total =
+      List.fold_left
+        (fun acc (i, spec) ->
+          acc + (run ~seed:(seed + i) spec).Runner.transient_count)
+        0 specs
+    in
+    float_of_int total /. float_of_int instances
+  in
+  [
+    ( "baseline (lock-only blue, random colouring)",
+      avg (fun ~seed spec -> Runner.run_stamp ~seed topo spec) );
+    ( "spread unlocked blue to providers",
+      avg (fun ~seed spec ->
+          Runner.run_stamp ~seed ~spread_unlocked_blue:true topo spec) );
+    ( "intelligent locked-blue colouring",
+      avg (fun ~seed spec ->
+          Runner.run_stamp ~seed
+            ~strategy:(Coloring.Intelligent { samples = 30 })
+            topo spec) );
+  ]
+
+let ablation_probe_interval ?(instances = 10) ?(seed = 1) ~values topo =
+  let specs = single_link_specs ~instances ~seed topo in
+  List.map
+    (fun interval ->
+      let total =
+        List.fold_left
+          (fun acc (i, spec) ->
+            acc
+            + (Runner.run ~seed:(seed + i) ~interval Runner.Bgp topo spec)
+                .Runner.transient_count)
+          0 specs
+      in
+      (interval, float_of_int total /. float_of_int instances))
+    values
+
+let ablation_detection ?(instances = 10) ?(seed = 1) ~values topo =
+  let specs = single_link_specs ~instances ~seed topo in
+  List.map
+    (fun detect_delay ->
+      let bars =
+        List.map
+          (fun protocol ->
+            let total =
+              List.fold_left
+                (fun acc (i, spec) ->
+                  acc
+                  + (Runner.run ~seed:(seed + i) ~detect_delay protocol topo
+                       spec)
+                      .Runner.transient_count)
+                0 specs
+            in
+            (protocol, float_of_int total /. float_of_int instances))
+          Runner.all_protocols
+      in
+      (detect_delay, bars))
+    values
+
+let motivation_loss_composition ?(instances = 15) ?(seed = 1) topo =
+  let specs = single_link_specs ~instances ~seed topo in
+  List.map
+    (fun protocol ->
+      let loss = ref 0 and loops = ref 0 in
+      List.iter
+        (fun (i, spec) ->
+          let s = Runner.run_traffic ~seed:(seed + i) protocol topo spec in
+          loss := !loss + s.Traffic.loss_events;
+          loops := !loops + s.Traffic.loop_events)
+        specs;
+      let share =
+        if !loss = 0 then nan else float_of_int !loops /. float_of_int !loss
+      in
+      (protocol, share))
+    Runner.all_protocols
+
+let ablation_topology ?(instances = 8) ?(seed = 1) ~n () =
+  let base = Topo_gen.default_params ~seed ~n () in
+  let variants =
+    [
+      ("default", base);
+      ( "sparse multi-homing",
+        { base with Topo_gen.stub_extra_provider_prob = 0.15 } );
+      ( "dense multi-homing",
+        { base with Topo_gen.stub_extra_provider_prob = 0.7 } );
+      ("no mid-tier peering", { base with Topo_gen.peers_per_mid = 0. });
+      ("heavy peering", { base with Topo_gen.peers_per_mid = 5. });
+    ]
+  in
+  List.map
+    (fun (label, params) ->
+      let topo = Topo_gen.generate params in
+      ( label,
+        failure_bars ~instances ~seed ~scenario:Scenario.single_link topo ))
+    variants

@@ -1,0 +1,44 @@
+(** Rendering of experiment results as the rows/series the paper reports,
+    with the paper's own numbers alongside for comparison. *)
+
+val pp_fig1 : Format.formatter -> Experiment.fig1_result -> unit
+(** The Figure 1 CDF as a value/fraction series plus the headline
+    statistics (mean Φ random vs intelligent, tail fractions), each next to
+    the paper's value. *)
+
+val pp_bars :
+  paper:(Runner.protocol * float) list ->
+  Format.formatter ->
+  Experiment.bars ->
+  unit
+(** A Figure 2/3-style bar group: one row per protocol with the measured
+    average count and the paper's count. *)
+
+val pp_bars_plain : Format.formatter -> Experiment.bars -> unit
+(** A bar group without a paper column (for workloads the paper describes
+    but does not plot, e.g. pure policy-change events). *)
+
+val pp_bars_stats :
+  paper:(Runner.protocol * float) list ->
+  Format.formatter ->
+  (Runner.protocol * Stat.summary) list ->
+  unit
+(** Like {!pp_bars} with the spread across instances (± population standard
+    deviation and the worst instance). *)
+
+val pp_overhead : Format.formatter -> Experiment.overhead_result list -> unit
+(** Section 6.3 message-overhead and convergence-delay table. *)
+
+val bars_to_csv : (Runner.protocol * Stat.summary) list -> string
+(** The same rows as CSV ([protocol,mean,stddev,median,min,max]) for
+    downstream plotting. *)
+
+val paper_fig2 : (Runner.protocol * float) list
+(** The paper's Figure 2 values (ASes with transient problems, single link
+    failure): BGP 6604, R-BGP-no-RCI 2097, R-BGP 0, STAMP 357. *)
+
+val paper_fig3a : (Runner.protocol * float) list
+(** Figure 3(a): 10314 / 4242 / 861 / 845. *)
+
+val paper_fig3b : (Runner.protocol * float) list
+(** Figure 3(b): 12071 / 3803 / 761 / 366. *)

@@ -1,0 +1,169 @@
+type protocol = Bgp | Rbgp_no_rci | Rbgp | Stamp
+
+let all_protocols = [ Bgp; Rbgp_no_rci; Rbgp; Stamp ]
+
+let protocol_name = function
+  | Bgp -> "BGP"
+  | Rbgp_no_rci -> "R-BGP without RCI"
+  | Rbgp -> "R-BGP"
+  | Stamp -> "STAMP"
+
+type result = {
+  transient_count : int;
+  broken_after : int;
+  convergence_delay : float;
+  recovery_delay : float;
+  messages_initial : int;
+  messages_event : int;
+  checkpoints : int;
+}
+
+(* The per-protocol operations the driver needs, bundled as a record of
+   closures over the protocol's network value. *)
+type driver = {
+  start : unit -> unit;
+  fail_link : Topology.vertex -> Topology.vertex -> unit;
+  fail_node : Topology.vertex -> unit;
+  deny_export : Topology.vertex -> Topology.vertex -> unit;
+  probe : unit -> Fwd_walk.status array;
+  messages : unit -> int;
+  last_change : unit -> float;
+}
+
+let make_driver ~seed ~mrai_base ?(detect_delay = 0.) protocol sim topo ~dest
+    : driver =
+  match protocol with
+  | Bgp ->
+    let net = Bgp_net.create sim topo ~dest ~mrai_base () in
+    {
+      start = (fun () -> Bgp_net.start net);
+      fail_link = (fun u v -> Bgp_net.fail_link ~detect_delay net u v);
+      fail_node = Bgp_net.fail_node net;
+      deny_export = Bgp_net.deny_export net;
+      probe = (fun () -> Bgp_net.walk_all net);
+      messages = (fun () -> Bgp_net.message_count net);
+      last_change = (fun () -> Bgp_net.last_change net);
+    }
+  | Rbgp_no_rci | Rbgp ->
+    let rci = protocol = Rbgp in
+    let net = Rbgp_net.create sim topo ~dest ~rci ~mrai_base () in
+    {
+      start = (fun () -> Rbgp_net.start net);
+      fail_link = (fun u v -> Rbgp_net.fail_link ~detect_delay net u v);
+      fail_node = Rbgp_net.fail_node net;
+      deny_export = Rbgp_net.deny_export net;
+      probe = (fun () -> Rbgp_net.walk_all net);
+      messages = (fun () -> Rbgp_net.message_count net);
+      last_change = (fun () -> Rbgp_net.last_change net);
+    }
+  | Stamp ->
+    let coloring = Coloring.create Coloring.Random_choice ~seed topo ~dest in
+    let net = Stamp_net.create sim topo ~dest ~coloring ~mrai_base () in
+    {
+      start = (fun () -> Stamp_net.start net);
+      fail_link = (fun u v -> Stamp_net.fail_link ~detect_delay net u v);
+      fail_node = Stamp_net.fail_node net;
+      deny_export = Stamp_net.deny_export net;
+      probe = (fun () -> Stamp_net.walk_all net);
+      messages = (fun () -> Stamp_net.message_count net);
+      last_change = (fun () -> Stamp_net.last_change net);
+    }
+
+let make_stamp_driver ~seed ~mrai_base ?(detect_delay = 0.)
+    ~spread_unlocked_blue ~strategy sim topo ~dest : driver =
+  let coloring = Coloring.create strategy ~seed topo ~dest in
+  let net =
+    Stamp_net.create sim topo ~dest ~coloring ~mrai_base ~spread_unlocked_blue
+      ()
+  in
+    {
+      start = (fun () -> Stamp_net.start net);
+      fail_link = (fun u v -> Stamp_net.fail_link ~detect_delay net u v);
+      fail_node = Stamp_net.fail_node net;
+      deny_export = Stamp_net.deny_export net;
+      probe = (fun () -> Stamp_net.walk_all net);
+      messages = (fun () -> Stamp_net.message_count net);
+      last_change = (fun () -> Stamp_net.last_change net);
+    }
+
+let measure ~interval (spec : Scenario.spec) sim (d : driver) =
+  d.start ();
+  Sim.run sim;
+  let messages_initial = d.messages () in
+  let event_time = Sim.now sim in
+  List.iter
+    (function
+      | Scenario.Fail_link (u, v) -> d.fail_link u v
+      | Scenario.Fail_node v -> d.fail_node v
+      | Scenario.Deny_export (u, v) -> d.deny_export u v)
+    spec.events;
+  let outcome = Transient.run sim ~interval ~probe:d.probe () in
+  let broken_after =
+    Array.fold_left
+      (fun acc s ->
+        if Fwd_walk.equal_status s Fwd_walk.Delivered then acc else acc + 1)
+      0 outcome.final
+  in
+  {
+    transient_count = Transient.transient_count outcome;
+    broken_after;
+    convergence_delay = Float.max 0. (d.last_change () -. event_time);
+    recovery_delay = Float.max 0. (outcome.last_status_change -. event_time);
+    messages_initial;
+    messages_event = d.messages () - messages_initial;
+    checkpoints = outcome.checkpoints;
+  }
+
+let run ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02) ?(detect_delay = 0.)
+    protocol topo (spec : Scenario.spec) =
+  let sim = Sim.create ~seed () in
+  let d =
+    make_driver ~seed ~mrai_base ~detect_delay protocol sim topo
+      ~dest:spec.dest
+  in
+  measure ~interval spec sim d
+
+let run_stamp ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
+    ?(spread_unlocked_blue = false) ?(strategy = Coloring.Random_choice) topo
+    (spec : Scenario.spec) =
+  let sim = Sim.create ~seed () in
+  let d =
+    make_stamp_driver ~seed ~mrai_base ~spread_unlocked_blue ~strategy sim topo
+      ~dest:spec.dest
+  in
+  measure ~interval spec sim d
+
+let run_hybrid ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02) ~deployed
+    topo (spec : Scenario.spec) =
+  let sim = Sim.create ~seed () in
+  let net =
+    Hybrid_net.create sim topo ~dest:spec.dest ~deployed ~mrai_base ()
+  in
+  let d =
+    {
+      start = (fun () -> Hybrid_net.start net);
+      fail_link = Hybrid_net.fail_link net;
+      fail_node =
+        (fun _ -> invalid_arg "Runner.run_hybrid: node failures unsupported");
+      deny_export =
+        (fun _ _ -> invalid_arg "Runner.run_hybrid: policy events unsupported");
+      probe = (fun () -> Hybrid_net.walk_all net);
+      messages = (fun () -> Hybrid_net.message_count net);
+      last_change = (fun () -> Hybrid_net.last_change net);
+    }
+  in
+  measure ~interval spec sim d
+
+let run_traffic ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02) protocol topo
+    (spec : Scenario.spec) =
+  let sim = Sim.create ~seed () in
+  let d = make_driver ~seed ~mrai_base protocol sim topo ~dest:spec.dest in
+  d.start ();
+  Sim.run sim;
+  List.iter
+    (function
+      | Scenario.Fail_link (u, v) -> d.fail_link u v
+      | Scenario.Fail_node v -> d.fail_node v
+      | Scenario.Deny_export (u, v) -> d.deny_export u v)
+    spec.events;
+  Traffic.observe sim ~interval ~probe:d.probe ()

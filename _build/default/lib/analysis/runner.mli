@@ -1,0 +1,80 @@
+(** Uniform driver: run one (protocol, scenario) pair to convergence and
+    measure transient problems, convergence delay and message overhead. *)
+
+type protocol = Bgp | Rbgp_no_rci | Rbgp | Stamp
+
+val all_protocols : protocol list
+(** In the paper's bar order: BGP, R-BGP without RCI, R-BGP, STAMP. *)
+
+val protocol_name : protocol -> string
+
+type result = {
+  transient_count : int;
+      (** ASes with transient forwarding problems after the event *)
+  broken_after : int;
+      (** ASes without working delivery once converged (permanent loss) *)
+  convergence_delay : float;
+      (** seconds from event injection to the last routing change anywhere
+          (control-plane quiescence) *)
+  recovery_delay : float;
+      (** seconds from event injection until the forwarding plane
+          stabilised — the last instant any AS's delivery status changed.
+          0 when forwarding was never disturbed (the reliability metric the
+          paper's Section 6.3 delay claim is about) *)
+  messages_initial : int;  (** updates sent during initial convergence *)
+  messages_event : int;  (** updates sent while reconverging *)
+  checkpoints : int;
+}
+
+val run :
+  ?seed:int ->
+  ?mrai_base:float ->
+  ?interval:float ->
+  ?detect_delay:float ->
+  protocol ->
+  Topology.t ->
+  Scenario.spec ->
+  result
+(** Build the protocol's network, converge, inject the scenario's events
+    simultaneously, and monitor reconvergence with {!Transient.run}.
+    STAMP uses {!Coloring.Random_choice} seeded from [seed].
+    [detect_delay] (default 0) postpones the adjacent routers' reaction to
+    link failures while the data plane is already broken. *)
+
+val run_stamp :
+  ?seed:int ->
+  ?mrai_base:float ->
+  ?interval:float ->
+  ?spread_unlocked_blue:bool ->
+  ?strategy:Coloring.strategy ->
+  Topology.t ->
+  Scenario.spec ->
+  result
+(** Like {!run} for STAMP, with the protocol-variant knobs exposed for the
+    ablation benches: unlocked-blue spreading and the locked-blue-provider
+    selection strategy. *)
+
+val run_hybrid :
+  ?seed:int ->
+  ?mrai_base:float ->
+  ?interval:float ->
+  deployed:(Topology.vertex -> bool) ->
+  Topology.t ->
+  Scenario.spec ->
+  result
+(** Like {!run} for {!Hybrid_net}: STAMP at the ASes satisfying
+    [deployed], plain BGP elsewhere — the dynamic version of the paper's
+    partial-deployment question. Only link-failure events are supported.
+    @raise Invalid_argument on node-failure or policy events. *)
+
+val run_traffic :
+  ?seed:int ->
+  ?mrai_base:float ->
+  ?interval:float ->
+  protocol ->
+  Topology.t ->
+  Scenario.spec ->
+  Traffic.summary
+(** Like {!run} but measure the packet-loss composition during
+    reconvergence with {!Traffic.observe} instead of counting affected
+    ASes — the paper's Section 1 motivation (loops vs blackholes). *)

@@ -1,0 +1,93 @@
+type event =
+  | Fail_link of Topology.vertex * Topology.vertex
+  | Fail_node of Topology.vertex
+  | Deny_export of Topology.vertex * Topology.vertex
+
+type spec = { dest : Topology.vertex; events : event list }
+
+let pp_spec topo ppf s =
+  let pp_event ppf = function
+    | Fail_link (u, v) ->
+      Format.fprintf ppf "link %d-%d" (Topology.asn topo u) (Topology.asn topo v)
+    | Fail_node v -> Format.fprintf ppf "node %d" (Topology.asn topo v)
+    | Deny_export (u, v) ->
+      Format.fprintf ppf "policy %d-x->%d" (Topology.asn topo u)
+        (Topology.asn topo v)
+  in
+  Format.fprintf ppf "dest=%d fail=[%a]" (Topology.asn topo s.dest)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_event)
+    s.events
+
+let random_multi_homed st topo =
+  let mh = Topology.multi_homed topo in
+  if Array.length mh = 0 then
+    invalid_arg "Scenario: topology has no multi-homed AS";
+  mh.(Random.State.int st (Array.length mh))
+
+let single_link st topo =
+  let dest = random_multi_homed st topo in
+  let provs = Topology.providers topo dest in
+  let p = provs.(Random.State.int st (Array.length provs)) in
+  { dest; events = [ Fail_link (dest, p) ] }
+
+(* Provider links in the uphill cone of [dest], excluding any link touching
+   one of the [avoid] vertices. *)
+let cone_provider_links topo ~dest ~avoid =
+  let reach = Tiers.uphill_reachable topo dest in
+  let links = ref [] in
+  Array.iteri
+    (fun v in_cone ->
+      if in_cone && (not (List.mem v avoid)) && v <> dest then
+        Array.iter
+          (fun p -> if not (List.mem p avoid) then links := (v, p) :: !links)
+          (Topology.providers topo v))
+    reach;
+  List.rev !links
+
+let with_resampling name f st topo =
+  let rec attempt k =
+    if k = 0 then
+      invalid_arg (Printf.sprintf "Scenario.%s: no suitable instance found" name)
+    else match f st topo with Some s -> s | None -> attempt (k - 1)
+  in
+  attempt 1000
+
+let two_links_apart =
+  with_resampling "two_links_apart" (fun st topo ->
+      let dest = random_multi_homed st topo in
+      let provs = Topology.providers topo dest in
+      let p = provs.(Random.State.int st (Array.length provs)) in
+      match cone_provider_links topo ~dest ~avoid:[ dest; p ] with
+      | [] -> None (* cone too small: resample *)
+      | links ->
+        let x, px = List.nth links (Random.State.int st (List.length links)) in
+        Some { dest; events = [ Fail_link (dest, p); Fail_link (x, px) ] })
+
+let two_links_shared =
+  with_resampling "two_links_shared" (fun st topo ->
+      let dest = random_multi_homed st topo in
+      let provs =
+        Array.to_list (Topology.providers topo dest)
+        |> List.filter (fun p -> Array.length (Topology.providers topo p) > 0)
+      in
+      match provs with
+      | [] -> None (* all providers are tier-1: resample *)
+      | _ ->
+        let p = List.nth provs (Random.State.int st (List.length provs)) in
+        let pps = Topology.providers topo p in
+        let pp = pps.(Random.State.int st (Array.length pps)) in
+        Some { dest; events = [ Fail_link (dest, p); Fail_link (p, pp) ] })
+
+let node_failure st topo =
+  let dest = random_multi_homed st topo in
+  let provs = Topology.providers topo dest in
+  let p = provs.(Random.State.int st (Array.length provs)) in
+  { dest; events = [ Fail_node p ] }
+
+let policy_withdraw st topo =
+  let dest = random_multi_homed st topo in
+  let provs = Topology.providers topo dest in
+  let p = provs.(Random.State.int st (Array.length provs)) in
+  { dest; events = [ Deny_export (dest, p) ] }

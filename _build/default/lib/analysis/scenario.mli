@@ -1,0 +1,41 @@
+(** Failure workloads of the paper's Section 6.2.
+
+    Every scenario picks a random multi-homed destination (the paper's
+    "origin AS"), lets routing converge, then injects one compound routing
+    event. Scenario sampling is deterministic in the supplied RNG. *)
+
+type event =
+  | Fail_link of Topology.vertex * Topology.vertex
+  | Fail_node of Topology.vertex
+  | Deny_export of Topology.vertex * Topology.vertex
+      (** policy change: first AS stops exporting to the second *)
+
+type spec = {
+  dest : Topology.vertex;  (** the origin/destination AS *)
+  events : event list;  (** injected simultaneously after convergence *)
+}
+
+val pp_spec : Topology.t -> Format.formatter -> spec -> unit
+
+val single_link : Random.State.t -> Topology.t -> spec
+(** Figure 2: a multi-homed origin fails one of its provider links. *)
+
+val two_links_apart : Random.State.t -> Topology.t -> spec
+(** Figure 3(a): the origin fails one provider link, and a randomly
+    selected indirect-provider link (a provider link in the origin's uphill
+    cone, multiple hops away and sharing no AS with the first) fails
+    simultaneously. *)
+
+val two_links_shared : Random.State.t -> Topology.t -> spec
+(** Figure 3(b): the origin fails a link to one of its providers, and that
+    provider simultaneously fails one of its own provider links. *)
+
+val node_failure : Random.State.t -> Topology.t -> spec
+(** Section 6.2.2's nod: a single AS failure adjacent to the origin — one
+    of the origin's providers fails entirely (withdrawing routes from all
+    its neighbours). *)
+
+val policy_withdraw : Random.State.t -> Topology.t -> spec
+(** The paper's policy-change event class: a multi-homed origin stops
+    announcing its prefix to one of its providers. Same withdrawal
+    semantics as a link failure, but the link stays physically up. *)

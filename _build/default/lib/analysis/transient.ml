@@ -1,0 +1,59 @@
+type outcome = {
+  transient : bool array;
+  final : Fwd_walk.status array;
+  checkpoints : int;
+  converged_at : float;
+  last_status_change : float;
+}
+
+let transient_count o =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 o.transient
+
+let run sim ?(interval = 0.02) ?(max_events = 50_000_000) ~probe () =
+  if interval <= 0. then invalid_arg "Transient.run: non-positive interval";
+  let first = probe () in
+  let n = Array.length first in
+  let troubled = Array.make n false in
+  let prev = ref first in
+  let last_status_change = ref (Sim.now sim) in
+  let note statuses =
+    Array.iteri
+      (fun v s ->
+        if not (Fwd_walk.equal_status s Fwd_walk.Delivered) then
+          troubled.(v) <- true)
+      statuses;
+    if not (Array.for_all2 Fwd_walk.equal_status statuses !prev) then
+      last_status_change := Sim.now sim;
+    prev := statuses
+  in
+  note first;
+  let checkpoints = ref 1 in
+  let events_budget = ref max_events in
+  while Sim.pending sim > 0 do
+    let before = Sim.events_processed sim in
+    Sim.run ~until:(Sim.now sim +. interval) ~max_events:!events_budget sim;
+    let processed = Sim.events_processed sim - before in
+    events_budget := !events_budget - processed;
+    if !events_budget <= 0 then
+      failwith "Transient.run: event budget exceeded (non-convergence?)";
+    (* nothing happened, nothing changed: skip the redundant probe *)
+    if processed > 0 && Sim.pending sim > 0 then begin
+      note (probe ());
+      incr checkpoints
+    end
+  done;
+  let final = probe () in
+  incr checkpoints;
+  let transient =
+    Array.mapi
+      (fun v bad ->
+        bad && Fwd_walk.equal_status final.(v) Fwd_walk.Delivered)
+      troubled
+  in
+  {
+    transient;
+    final;
+    checkpoints = !checkpoints;
+    converged_at = Sim.now sim;
+    last_status_change = !last_status_change;
+  }

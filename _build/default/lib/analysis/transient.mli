@@ -1,0 +1,40 @@
+(** Checkpointed transient-problem monitor — the measurement behind the
+    paper's Figures 2 and 3 ("number of ASes with transient problems").
+
+    The monitor drives a simulation to convergence while probing the
+    forwarding plane at fixed virtual-time intervals. An AS {e experiences
+    a transient problem} when some checkpoint after the routing event shows
+    its packets looping or blackholed {e and} the AS has working delivery
+    once the protocol has converged (ASes that end up legitimately
+    disconnected are not transient casualties). This matches the paper's
+    counting: transient loops and failures during convergence. *)
+
+type outcome = {
+  transient : bool array;
+      (** per AS: had a loop/blackhole at some checkpoint but delivers at
+          convergence *)
+  final : Fwd_walk.status array;  (** status after convergence *)
+  checkpoints : int;  (** number of probes taken *)
+  converged_at : float;  (** simulation time when the event queue drained *)
+  last_status_change : float;
+      (** simulation time of the last probe at which any AS's forwarding
+          status differed from the previous probe — when the forwarding
+          plane stabilised. Equals the event time when forwarding was never
+          disturbed. *)
+}
+
+val transient_count : outcome -> int
+(** Number of ASes with [transient.(v) = true]. *)
+
+val run :
+  Sim.t ->
+  ?interval:float ->
+  ?max_events:int ->
+  probe:(unit -> Fwd_walk.status array) ->
+  unit ->
+  outcome
+(** Probe immediately (the instant of the routing event), then repeatedly
+    every [interval] seconds of virtual time (default 0.02 s, matching the paper's 10-20 ms message delays so transient windows are not missed; probes are skipped while no events fire, so quiet MRAI gaps cost nothing) until the
+    event queue drains, then probe one final time. [max_events] (default
+    50 million) guards against non-termination and raises [Failure] when
+    exceeded. *)

@@ -1,0 +1,1 @@
+lib/bgp/bgp_net.ml: Array Channel Decision Export Fwd_walk Hashtbl Link_state List Mrai Route Sim Static_route Topology

@@ -1,0 +1,1 @@
+lib/bgp/bgp_net.mli: Fwd_walk Route Sim Static_route Topology

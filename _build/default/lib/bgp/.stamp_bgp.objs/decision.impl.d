@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: Hashtbl List Relationship Route

@@ -1,0 +1,1 @@
+lib/bgp/fwd_walk.ml: Array Format

@@ -1,0 +1,1 @@
+lib/bgp/fwd_walk.mli: Format Topology

@@ -1,0 +1,1 @@
+lib/bgp/link_state.mli: Topology

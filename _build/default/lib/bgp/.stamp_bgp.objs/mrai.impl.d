@@ -1,0 +1,1 @@
+lib/bgp/mrai.ml: Random

@@ -1,0 +1,1 @@
+lib/bgp/route.ml: Format List Relationship Topology

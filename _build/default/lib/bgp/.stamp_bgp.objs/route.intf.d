@@ -1,0 +1,1 @@
+lib/bgp/route.mli: Format Relationship Topology

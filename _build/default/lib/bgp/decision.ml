@@ -1,0 +1,18 @@
+let better (a : Route.t) (b : Route.t) =
+  let pa = Relationship.local_pref a.cls and pb = Relationship.local_pref b.cls in
+  if pa <> pb then pa > pb
+  else
+    let la = Route.length a and lb = Route.length b in
+    if la <> lb then la < lb
+    else
+      match (Route.learned_from a, Route.learned_from b) with
+      | None, _ -> true
+      | Some _, None -> false
+      | Some x, Some y -> x < y
+
+let select = function
+  | [] -> None
+  | r :: rest ->
+    Some (List.fold_left (fun acc r -> if better r acc then r else acc) r rest)
+
+let select_tbl tbl = select (Hashtbl.fold (fun _ r acc -> r :: acc) tbl [])

@@ -1,0 +1,10 @@
+let allowed ~route_cls ~to_rel =
+  match (route_cls : Relationship.t) with
+  | Customer | Sibling -> true
+  | Peer | Provider -> begin
+    match (to_rel : Relationship.t) with
+    | Customer | Sibling -> true
+    | Peer | Provider -> false
+  end
+
+let exportable (r : Route.t) ~to_rel = allowed ~route_cls:r.cls ~to_rel

@@ -1,0 +1,13 @@
+(** The valley-free export policy (Gao–Rexford): routes learned from a
+    customer (or self-originated) are announced to everyone; routes learned
+    from a peer or provider are announced only to customers (and
+    siblings). *)
+
+val allowed : route_cls:Relationship.t -> to_rel:Relationship.t -> bool
+(** [allowed ~route_cls ~to_rel] — may a route of class [route_cls]
+    (relationship of the neighbour it was learned from; [Customer] for
+    self-originated routes) be exported to a neighbour whose relationship
+    is [to_rel]? *)
+
+val exportable : Route.t -> to_rel:Relationship.t -> bool
+(** {!allowed} applied to a route. *)

@@ -1,0 +1,17 @@
+type t = {
+  interval : float;
+  mutable next_ok : float;
+  mutable flush_scheduled : bool;
+}
+
+let create st ?(base = 30.) () =
+  if base < 0. then invalid_arg "Mrai.create: negative base";
+  let factor = 0.75 +. Random.State.float st 0.25 in
+  { interval = base *. factor; next_ok = 0.; flush_scheduled = false }
+
+let interval t = t.interval
+let ready t ~now = now >= t.next_ok
+let note_sent t ~now = t.next_ok <- now +. t.interval
+let next_allowed t = t.next_ok
+let flush_scheduled t = t.flush_scheduled
+let set_flush_scheduled t b = t.flush_scheduled <- b

@@ -1,0 +1,31 @@
+(** Per-peer Minimum Route Advertisement Interval state.
+
+    The paper configures a peer-based MRAI of 30 s multiplied by a random
+    factor uniform in [0.75, 1.0]; each (router, peer) direction draws its
+    interval once at session setup. The timer rate-limits announcements;
+    withdrawals are sent immediately (standard WRATE-off behaviour), which
+    is also what makes BGP path exploration visible. *)
+
+type t
+
+val create : Random.State.t -> ?base:float -> unit -> t
+(** Draw the interval as [base *. U(0.75, 1.0)] (default base 30 s). A base
+    of [0.] disables rate limiting. *)
+
+val interval : t -> float
+
+val ready : t -> now:float -> bool
+(** Whether an announcement may be sent at time [now]. *)
+
+val note_sent : t -> now:float -> unit
+(** Record that an announcement was sent; the next one is allowed at
+    [now +. interval]. *)
+
+val next_allowed : t -> float
+(** Earliest time the next announcement may be sent. *)
+
+val flush_scheduled : t -> bool
+(** Whether a deferred-flush callback is already pending, to avoid
+    scheduling duplicates. *)
+
+val set_flush_scheduled : t -> bool -> unit

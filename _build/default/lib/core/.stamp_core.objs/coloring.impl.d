@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Array Disjoint Random Sample Topology

@@ -1,0 +1,1 @@
+lib/core/hybrid_net.ml: Array Bool Channel Decision Export Fwd_walk Hashtbl Link_state List Mrai Route Sim Topology Valley

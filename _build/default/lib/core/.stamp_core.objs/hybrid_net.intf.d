@@ -1,0 +1,1 @@
+lib/core/hybrid_net.mli: Fwd_walk Route Sim Topology

@@ -1,0 +1,1 @@
+lib/core/phi.ml: Array Coloring Disjoint Float Fun List Static_route Tiers Topology Valley

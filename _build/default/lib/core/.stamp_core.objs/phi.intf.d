@@ -1,0 +1,1 @@
+lib/core/phi.mli: Random Topology

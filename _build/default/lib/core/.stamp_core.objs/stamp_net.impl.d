@@ -1,0 +1,1 @@
+lib/core/stamp_net.ml: Array Bool Channel Color Coloring Decision Export Fwd_walk Hashtbl Link_state List Mrai Option Relationship Route Sim Static_route Topology

@@ -1,0 +1,1 @@
+lib/core/stamp_net.mli: Color Coloring Fwd_walk Route Sim Static_route Topology

@@ -1,0 +1,50 @@
+type strategy = Random_choice | Intelligent of { samples : int }
+
+type t = { topo : Topology.t; orders : Topology.vertex array array }
+
+let rec effective_origin topo v =
+  match Array.length (Topology.providers topo v) with
+  | 0 -> None
+  | 1 -> effective_origin topo (Topology.providers topo v).(0)
+  | _ -> Some v
+
+(* Estimate, for the origin [m] and first hop [p], the probability that a
+   random locked blue walk through [p] leaves a node-disjoint uphill path
+   from [m] to another tier-1 AS. *)
+let goodness st topo ~m ~p ~samples =
+  let good = ref 0 in
+  for _ = 1 to samples do
+    let tail = Disjoint.random_uphill_path st topo ~src:p in
+    let path = m :: tail in
+    if Disjoint.exists_disjoint_uphill topo ~src:m path then incr good
+  done;
+  float_of_int !good /. float_of_int samples
+
+let create strategy ~seed topo ~dest =
+  let n = Topology.num_vertices topo in
+  let orders =
+    Array.init n (fun v ->
+        let provs = Array.copy (Topology.providers topo v) in
+        (* independent per-AS permutation, stable across runs *)
+        let st = Random.State.make [| seed; v |] in
+        Sample.shuffle st provs;
+        provs)
+  in
+  (match strategy with
+  | Random_choice -> ()
+  | Intelligent { samples } -> begin
+    match effective_origin topo dest with
+    | None -> ()
+    | Some m ->
+      let st = Random.State.make [| seed; m; 1 |] in
+      let scored =
+        Array.map (fun p -> (goodness st topo ~m ~p ~samples, p)) orders.(m)
+      in
+      (* highest estimated goodness first; ties keep the random order *)
+      let ranked = Array.copy scored in
+      Array.stable_sort (fun (a, _) (b, _) -> compare b a) ranked;
+      orders.(m) <- Array.map snd ranked
+  end);
+  { topo; orders }
+
+let preference t v = t.orders.(v)

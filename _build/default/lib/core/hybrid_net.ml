@@ -1,0 +1,258 @@
+type msg = Announce of Topology.vertex list | Withdraw
+
+type router = {
+  v : Topology.vertex;
+  upgraded : bool;
+  mutable best : Route.t option;
+  mutable backup : Route.t option; (* upgraded only: the blue table *)
+  adj_rib_in : (Topology.vertex, Route.t) Hashtbl.t;
+  rib_out : (Topology.vertex, Topology.vertex list) Hashtbl.t;
+  mrai : (Topology.vertex, Mrai.t) Hashtbl.t;
+  chans : (Topology.vertex, msg Channel.t) Hashtbl.t;
+}
+
+type t = {
+  sim : Sim.t;
+  topo : Topology.t;
+  dest : Topology.vertex;
+  routers : router array;
+  links : Link_state.t;
+  mutable messages : int;
+  mutable last_change : float;
+}
+
+let sim t = t.sim
+let dest t = t.dest
+let is_deployed t v = t.routers.(v).upgraded
+
+let rel_exn t u v =
+  match Topology.rel t.topo u v with
+  | Some r -> r
+  | None -> invalid_arg "Hybrid_net: vertices not adjacent"
+
+let send t r n msg =
+  t.messages <- t.messages + 1;
+  Channel.send (Hashtbl.find r.chans n) msg
+
+(* --- the plain-BGP control plane (identical to Bgp_net) --------------- *)
+
+let rec advertise_to t r n =
+  if Link_state.link_up t.links r.v n then begin
+    let to_rel = rel_exn t r.v n in
+    let desired =
+      match r.best with
+      | Some b
+        when Route.learned_from b <> Some n && Export.exportable b ~to_rel ->
+        Some (r.v :: b.as_path)
+      | Some _ | None -> None
+    in
+    let current = Hashtbl.find_opt r.rib_out n in
+    match (desired, current) with
+    | None, None -> ()
+    | None, Some _ ->
+      Hashtbl.remove r.rib_out n;
+      send t r n Withdraw
+    | Some p, Some p' when p = p' -> ()
+    | Some p, (Some _ | None) ->
+      let m = Hashtbl.find r.mrai n in
+      let now = Sim.now t.sim in
+      if Mrai.ready m ~now then begin
+        Mrai.note_sent m ~now;
+        Hashtbl.replace r.rib_out n p;
+        send t r n (Announce p)
+      end
+      else if not (Mrai.flush_scheduled m) then begin
+        Mrai.set_flush_scheduled m true;
+        Sim.schedule_at t.sim ~time:(Mrai.next_allowed m) (fun _ ->
+            Mrai.set_flush_scheduled m false;
+            advertise_to t r n)
+      end
+  end
+
+let advertise_all t r =
+  Array.iter (fun (n, _) -> advertise_to t r n) (Topology.neighbors t.topo r.v)
+
+(* --- the blue table ---------------------------------------------------- *)
+
+(* The RIB alternate most downhill-disjoint from the best route. *)
+let recompute_backup t r =
+  if r.upgraded then
+    r.backup <-
+      (match r.best with
+      | None -> None
+      | Some best -> begin
+        let downhill path =
+          match Valley.decompose t.topo path with
+          | _, down -> down
+          | exception Invalid_argument _ -> path
+        in
+        let best_down = downhill (r.v :: best.Route.as_path) in
+        let score (alt : Route.t) =
+          List.length
+            (List.filter
+               (fun x -> x <> t.dest && List.mem x best_down)
+               (downhill (r.v :: alt.as_path)))
+        in
+        Hashtbl.fold
+          (fun from (alt : Route.t) acc ->
+            if Some from = Route.learned_from best then acc
+            else
+              match acc with
+              | None -> Some alt
+              | Some cur ->
+                let sa = score alt and sc = score cur in
+                if sa < sc || (sa = sc && Decision.better alt cur) then
+                  Some alt
+                else acc)
+          r.adj_rib_in None
+      end)
+
+let recompute t r =
+  let best' =
+    if r.v = t.dest then Some Route.origin else Decision.select_tbl r.adj_rib_in
+  in
+  if best' <> r.best then begin
+    r.best <- best';
+    t.last_change <- Sim.now t.sim;
+    recompute_backup t r;
+    advertise_all t r
+  end
+  else recompute_backup t r
+
+let receive t r ~from msg =
+  if Link_state.node_up t.links r.v then begin
+    (match msg with
+    | Announce path ->
+      if List.mem r.v path then Hashtbl.remove r.adj_rib_in from
+      else
+        Hashtbl.replace r.adj_rib_in from
+          { Route.as_path = path; cls = rel_exn t r.v from }
+    | Withdraw -> Hashtbl.remove r.adj_rib_in from);
+    recompute t r
+  end
+
+(* --- construction ------------------------------------------------------ *)
+
+let create sim topo ~dest ~deployed ?(mrai_base = 30.) ?(delay_lo = 0.010)
+    ?(delay_hi = 0.020) () =
+  let n = Topology.num_vertices topo in
+  if dest < 0 || dest >= n then invalid_arg "Hybrid_net.create: bad destination";
+  let routers =
+    Array.init n (fun v ->
+        {
+          v;
+          upgraded = deployed v;
+          best = None;
+          backup = None;
+          adj_rib_in = Hashtbl.create 8;
+          rib_out = Hashtbl.create 8;
+          mrai = Hashtbl.create 8;
+          chans = Hashtbl.create 8;
+        })
+  in
+  let t =
+    {
+      sim;
+      topo;
+      dest;
+      routers;
+      links = Link_state.create ~n;
+      messages = 0;
+      last_change = 0.;
+    }
+  in
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun (v, _) ->
+          let deliver msg =
+            if Link_state.link_up t.links u v then
+              receive t routers.(v) ~from:u msg
+          in
+          Hashtbl.replace routers.(u).chans v
+            (Channel.create sim ~delay_lo ~delay_hi ~deliver);
+          Hashtbl.replace routers.(u).mrai v
+            (Mrai.create (Sim.rng sim) ~base:mrai_base ()))
+        (Topology.neighbors topo u))
+    (Topology.vertices topo);
+  t
+
+let start t = recompute t t.routers.(t.dest)
+
+(* --- failures ------------------------------------------------------------ *)
+
+let drop_session t u v =
+  let clear r peer =
+    Hashtbl.remove r.adj_rib_in peer;
+    Hashtbl.remove r.rib_out peer;
+    recompute t r
+  in
+  clear t.routers.(u) v;
+  clear t.routers.(v) u
+
+let fail_link ?(detect_delay = 0.) t u v =
+  if Topology.rel t.topo u v = None then
+    invalid_arg "Hybrid_net.fail_link: vertices not adjacent";
+  if detect_delay < 0. then invalid_arg "Hybrid_net.fail_link: negative delay";
+  Link_state.fail_link t.links u v;
+  if detect_delay = 0. then drop_session t u v
+  else Sim.schedule t.sim ~delay:detect_delay (fun _ -> drop_session t u v)
+
+(* --- observation ----------------------------------------------------------- *)
+
+let best t v = t.routers.(v).best
+let backup t v = t.routers.(v).backup
+
+let has_disjoint_backup t v =
+  match (t.routers.(v).best, t.routers.(v).backup) with
+  | Some b, Some a ->
+    Valley.downhill_disjoint t.topo (v :: b.Route.as_path) (v :: a.Route.as_path)
+  | _ -> false
+
+(* packet states: false = primary (never re-coloured), true = switched *)
+let walk_all t =
+  let usable v (route : Route.t option) =
+    match route with
+    | Some r -> begin
+      match Route.learned_from r with
+      | Some nh when Link_state.link_up t.links v nh -> Some nh
+      | Some _ | None -> None
+    end
+    | None -> None
+  in
+  let step v switched =
+    if not (Link_state.node_up t.links v) then `Drop
+    else begin
+      let r = t.routers.(v) in
+      if not switched then
+        match usable v r.best with
+        | Some nh -> `Forward (nh, false)
+        | None -> begin
+          (* primary missing or physically broken: an upgraded AS
+             re-colours the packet onto its blue table *)
+          match (r.upgraded, usable v r.backup) with
+          | true, Some nh -> `Forward (nh, true)
+          | (true | false), _ -> `Drop
+        end
+      else
+        (* a re-coloured packet follows best routes from here on: the
+           backup was an advertised route of the deflection neighbour, so
+           its hops are exactly the downstream best chain. Following other
+           ASes' backups instead would compose unrelated local picks (two
+           neighbouring backups can point at each other). One deflection
+           per packet, as in Section 5. *)
+        match usable v r.best with
+        | Some nh -> `Forward (nh, true)
+        | None -> `Drop
+    end
+  in
+  Fwd_walk.walk_all
+    ~n:(Topology.num_vertices t.topo)
+    ~dest:t.dest
+    ~start:(fun _ -> false)
+    ~step
+    ~state_id:(fun sw -> Bool.to_int sw)
+    ~num_states:2
+
+let message_count t = t.messages
+let last_change t = t.last_change

@@ -1,0 +1,66 @@
+(** Partial STAMP deployment in the event-driven simulator (the dynamic
+    counterpart of Section 6.3's tier-1-only analysis).
+
+    Design: below full deployment, STAMP's coordinated announcement rules
+    cannot run end to end — a locked blue chain breaks at the first legacy
+    hop, and any deviation of the advertised routes from plain BGP turns
+    out to inject extra convergence churn into the legacy region (we
+    measured this; see DESIGN.md). What a partially deployed AS {e can}
+    soundly do is exactly what the paper's Section 5 requires of routers:
+    keep a second, maximally downhill-disjoint route from its RIB as a
+    local {e blue table}, detect that its primary is disturbed, and
+    re-colour packets onto the backup — at most once per packet. The
+    control plane stays byte-for-byte plain BGP (so partial deployment can
+    never make routing worse), and the backup candidates are ordinary
+    advertised routes, so forwarding through legacy neighbours follows the
+    very paths they advertised.
+
+    An upgraded AS therefore provides the protection the static analysis
+    counts — "two downhill node-disjoint paths" — whenever its RIB holds a
+    disjoint alternate, which for tier-1 ASes is the paper's ≈ 75 % of
+    destinations. *)
+
+type t
+
+val create :
+  Sim.t ->
+  Topology.t ->
+  dest:Topology.vertex ->
+  deployed:(Topology.vertex -> bool) ->
+  ?mrai_base:float ->
+  ?delay_lo:float ->
+  ?delay_hi:float ->
+  unit ->
+  t
+
+val start : t -> unit
+val sim : t -> Sim.t
+val dest : t -> Topology.vertex
+val is_deployed : t -> Topology.vertex -> bool
+
+val fail_link :
+  ?detect_delay:float -> t -> Topology.vertex -> Topology.vertex -> unit
+
+val best : t -> Topology.vertex -> Route.t option
+(** The (plain BGP) best route of an AS. *)
+
+val backup : t -> Topology.vertex -> Route.t option
+(** The blue table of an upgraded AS: the RIB route most downhill-disjoint
+    from the best, restricted to the top local-pref class. [None] at
+    legacy ASes and when no alternate exists. *)
+
+val has_disjoint_backup : t -> Topology.vertex -> bool
+(** Whether the AS currently holds a backup whose downhill portion is
+    node-disjoint from its best route's (except the destination) — the
+    protection unit the Section 6.3 analysis counts. *)
+
+val walk_all : t -> Fwd_walk.status array
+(** Packets follow best routes; an upgraded AS whose best is missing or
+    physically broken re-colours the packet onto its backup. From there
+    the packet follows best routes again (the backup is an advertised
+    route of the deflection neighbour, so its hops are the downstream best
+    chain; following other ASes' local backups would compose unrelated
+    picks and can loop). One re-colouring per packet, as in Section 5. *)
+
+val message_count : t -> int
+val last_change : t -> float

@@ -1,0 +1,105 @@
+type selection = Random_selection | Intelligent_selection
+
+let phi ?(samples = 100) ?(selection = Random_selection) st topo ~dest =
+  match Coloring.effective_origin topo dest with
+  | None -> 1.0
+  | Some m ->
+    let sample_from p =
+      (* one locked blue path with first hop fixed to provider [p] *)
+      let tail = Disjoint.random_uphill_path st topo ~src:p in
+      let path = m :: tail in
+      Disjoint.exists_disjoint_uphill topo ~src:m path
+    in
+    let estimate p k =
+      let good = ref 0 in
+      for _ = 1 to k do
+        if sample_from p then incr good
+      done;
+      float_of_int !good /. float_of_int k
+    in
+    let provs = Topology.providers topo m in
+    (match selection with
+    | Random_selection ->
+      (* the origin picks uniformly too: plain random walks from m *)
+      let good = ref 0 in
+      for _ = 1 to samples do
+        let path = Disjoint.random_uphill_path st topo ~src:m in
+        if Disjoint.exists_disjoint_uphill topo ~src:m path then incr good
+      done;
+      float_of_int !good /. float_of_int samples
+    | Intelligent_selection ->
+      (* the origin picks the provider with the best estimated odds; the
+         rest of the walk stays random *)
+      Array.fold_left
+        (fun acc p -> Float.max acc (estimate p samples))
+        0. provs)
+
+let phi_exact topo ~dest =
+  match Coloring.effective_origin topo dest with
+  | None -> 1.0
+  | Some m ->
+    let paths = Disjoint.enumerate_uphill_paths topo ~src:m in
+    (* weight of a path = product over hops of 1/(provider count) *)
+    let weight path =
+      let rec loop = function
+        | v :: (_ :: _ as rest) ->
+          loop rest /. float_of_int (Array.length (Topology.providers topo v))
+        | [ _ ] | [] -> 1.
+      in
+      loop path
+    in
+    List.fold_left
+      (fun acc path ->
+        if Disjoint.exists_disjoint_uphill topo ~src:m path then
+          acc +. weight path
+        else acc)
+      0. paths
+
+let phi_all ?(samples = 100) ?(selection = Random_selection) st topo =
+  Array.map
+    (fun dest -> phi ~samples ~selection st topo ~dest)
+    (Topology.vertices topo)
+
+let partial_deployment ~deployed topo =
+  let n = Topology.num_vertices topo in
+  let deployed_list =
+    List.filter deployed (List.init n Fun.id)
+  in
+  let protected_count = ref 0 in
+  for dest = 0 to n - 1 do
+    if deployed dest then incr protected_count
+    else begin
+      let table = Static_route.compute topo ~dest in
+      let downhill_of v =
+        match Static_route.path_from table v with
+        | None -> None
+        | Some path -> Some (Valley.downhill_nodes topo path ())
+      in
+      let downs =
+        deployed_list
+        |> List.filter_map downhill_of
+        |> List.map (fun nodes -> List.filter (fun x -> x <> dest) nodes)
+      in
+      let disjoint_pair =
+        let rec pairs = function
+          | [] -> false
+          | d1 :: rest ->
+            List.exists
+              (fun d2 -> not (List.exists (fun x -> List.mem x d2) d1))
+              rest
+            || pairs rest
+        in
+        pairs downs
+      in
+      if disjoint_pair then incr protected_count
+    end
+  done;
+  float_of_int !protected_count /. float_of_int n
+
+let partial_deployment_tier1 topo =
+  partial_deployment ~deployed:(Topology.is_tier1 topo) topo
+
+let deployment_curve topo ~max_tier =
+  let tiers = Tiers.classify topo in
+  List.init (max_tier + 1) (fun k ->
+      (k, partial_deployment ~deployed:(fun v -> tiers.(v) <= k) topo))

@@ -1,0 +1,67 @@
+(** Static analysis of STAMP's disjoint-path success probability Φ
+    (Section 6.1, Figure 1 of the paper).
+
+    For a destination whose effective origin [m] is multi-homed, a {e
+    locked blue path} is the uphill path from [m] to a tier-1 AS obtained
+    by letting every AS pick its locked blue provider; it is {e good} when
+    a node-disjoint uphill path from [m] to another tier-1 AS remains, in
+    which case STAMP finds a red path and every AS obtains both colours.
+    Φ is the probability that the locked blue path is good.
+
+    The paper computes Φ as the fraction λ′/λ of good paths among all
+    uphill paths; enumerating λ is exponential, so {!phi} estimates Φ by
+    Monte-Carlo over the protocol's own randomness (each AS picks its
+    locked blue provider uniformly — exactly the distribution induced by
+    {!Coloring.Random_choice}). The test suite cross-checks the estimate
+    against exhaustive enumeration on small graphs. *)
+
+type selection = Random_selection | Intelligent_selection
+(** How the effective origin picks its locked blue provider: uniformly at
+    random like every other AS, or greedily by estimated goodness (the
+    paper's §6.1 improvement from ≈ 0.92 to ≈ 0.97). *)
+
+val phi :
+  ?samples:int ->
+  ?selection:selection ->
+  Random.State.t ->
+  Topology.t ->
+  dest:Topology.vertex ->
+  float
+(** Estimate Φ for one destination (default 100 samples, random
+    selection). Destinations whose single-provider chain reaches a tier-1
+    AS before any multi-homed AS have no colouring point; Φ is defined as
+    1.0 for them (a documented convention — redundancy at the tier-1 core
+    is outside STAMP's mechanism). *)
+
+val phi_exact : Topology.t -> dest:Topology.vertex -> float
+(** Exact Φ by exhaustive enumeration of all locked blue paths, weighting
+    each by the probability the per-hop uniform choices select it. Only
+    for small topologies (raises [Invalid_argument] beyond 100_000
+    paths). *)
+
+val phi_all :
+  ?samples:int ->
+  ?selection:selection ->
+  Random.State.t ->
+  Topology.t ->
+  float array
+(** Φ for every destination AS — the population of the paper's Figure 1
+    CDF. Indexed by vertex. *)
+
+val partial_deployment :
+  deployed:(Topology.vertex -> bool) -> Topology.t -> float
+(** Fraction of destination ASes protected when STAMP runs only at the
+    ASes satisfying [deployed]: a destination is protected when two
+    distinct deployed ASes have standard-BGP (oracle) paths to it whose
+    downhill portions share no AS other than the destination — the
+    deployed layer can then offer two complementary downhill paths and
+    re-colour packets between them. Deployed destinations count as
+    protected (they colour their own announcements). *)
+
+val partial_deployment_tier1 : Topology.t -> float
+(** {!partial_deployment} with the tier-1 clique as the deployment set —
+    the scenario of Section 6.3, for which the paper reports ≈ 75 %. *)
+
+val deployment_curve : Topology.t -> max_tier:int -> (int * float) list
+(** The incremental-deployment curve: protection fraction when every AS of
+    tier ≤ k runs STAMP, for k from 0 (tier-1 only) to [max_tier]. *)

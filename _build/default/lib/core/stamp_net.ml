@@ -1,0 +1,497 @@
+type entry = { route : Route.t; lock : bool }
+
+type body =
+  | Announce of { path : Topology.vertex list; lock : bool; et_ok : bool }
+  | Withdraw of { et_ok : bool }
+
+type msg = { color : Color.t; body : body }
+
+type process = {
+  adj_rib_in : (Topology.vertex, entry) Hashtbl.t;
+  mutable best : entry option;
+  rib_out : (Topology.vertex, Topology.vertex list * bool) Hashtbl.t;
+      (** what was last announced to each neighbour: (path, lock bit) *)
+  mrai : (Topology.vertex, Mrai.t) Hashtbl.t;
+  mutable unstable : bool;
+  mutable loss_pending : bool;
+      (** our next updates are consequences of a route loss (ET=0) *)
+}
+
+type router = {
+  v : Topology.vertex;
+  procs : process array; (* indexed by Color.to_int *)
+  export_deny : (Topology.vertex, unit) Hashtbl.t;
+  chans : (Topology.vertex, msg Channel.t) Hashtbl.t;
+}
+
+type t = {
+  sim : Sim.t;
+  topo : Topology.t;
+  dest : Topology.vertex;
+  coloring : Coloring.t;
+  spread_unlocked_blue : bool;
+  routers : router array;
+  links : Link_state.t;
+  mutable messages : int;
+  mutable last_change : float;
+}
+
+let sim t = t.sim
+let dest t = t.dest
+
+let rel_exn t u v =
+  match Topology.rel t.topo u v with
+  | Some r -> r
+  | None -> invalid_arg "Stamp_net: vertices not adjacent"
+
+let proc r color = r.procs.(Color.to_int color)
+
+let send t r n msg =
+  t.messages <- t.messages + 1;
+  Channel.send (Hashtbl.find r.chans n) msg
+
+(* --- selective announcement ----------------------------------------- *)
+
+(* Whether a process's best may be exported to a neighbour of class
+   [to_rel] under valley-free rules (plus the never-announce-back rule). *)
+let standard_export (e : entry option) ~to_rel ~neighbor =
+  match e with
+  | Some { route; _ }
+    when Route.learned_from route <> Some neighbor
+         && Export.exportable route ~to_rel ->
+    Some route
+  | Some _ | None -> None
+
+let blue_lock_held t r =
+  r.v = t.dest
+  || Hashtbl.fold
+       (fun _ (e : entry) acc -> acc || e.lock)
+       (proc r Color.Blue).adj_rib_in false
+
+(* The provider the locked blue route must be re-announced to: the first
+   alive provider in the AS's coloring preference order. *)
+let designated_provider t r =
+  let prefs = Coloring.preference t.coloring r.v in
+  let rec scan i =
+    if i >= Array.length prefs then None
+    else if Link_state.link_up t.links r.v prefs.(i) then Some prefs.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let alive_provider_count t r =
+  Array.fold_left
+    (fun acc p -> if Link_state.link_up t.links r.v p then acc + 1 else acc)
+    0
+    (Topology.providers t.topo r.v)
+
+(* Single-homed origin chains relay both colours upward so the initial
+   colouring can happen at the first multi-homed ancestor (footnote 4). *)
+let is_relay t r ~red_best ~blue_best =
+  alive_provider_count t r = 1
+  && (r.v = t.dest
+     ||
+     match (red_best, blue_best) with
+     | Some (r1 : Route.t), Some (r2 : Route.t) ->
+       Route.learned_from r1 = Route.learned_from r2
+     | _ -> false)
+
+(* What should neighbour [n] currently hear from [r] on process [color]?
+   Returns the (path, lock) announcement, or None for nothing/withdraw. *)
+let desired t r n color =
+  let to_rel = rel_exn t r.v n in
+  let e = (proc r color).best in
+  match (to_rel : Relationship.t) with
+  | Customer | Peer | Sibling -> begin
+    match standard_export e ~to_rel ~neighbor:n with
+    | Some route -> Some (r.v :: route.Route.as_path, false)
+    | None -> None
+  end
+  | Provider -> begin
+    let red_best =
+      standard_export (proc r Color.Red).best ~to_rel ~neighbor:n
+    in
+    let blue_best =
+      standard_export (proc r Color.Blue).best ~to_rel ~neighbor:n
+    in
+    let lock_held = blue_lock_held t r in
+    let designated =
+      if lock_held && blue_best <> None then designated_provider t r else None
+    in
+    let relay = is_relay t r ~red_best ~blue_best in
+    let plan : (Topology.vertex list * bool) option =
+      match color with
+      | Blue ->
+        (* Only the locked blue route propagates to providers (to exactly
+           one of them). Unlocked blue is "not required to propagate"
+           (Section 4.1) and deliberately is not: announcing it to red-less
+           providers would couple the blue process to red churn — whenever
+           a red route (re)appears, its precedence would force a blue
+           withdrawal, punching transient holes into the blue tree. Blue
+           still reaches every AS through the locked chain to a tier-1 and
+           the unrestricted announcements to customers and peers. *)
+        if Some n = designated then
+          Option.map (fun (b : Route.t) -> (r.v :: b.as_path, true)) blue_best
+        else if t.spread_unlocked_blue && red_best = None && not relay then
+          (* ablation mode: fill red-less providers with unlocked blue *)
+          Option.map (fun (b : Route.t) -> (r.v :: b.as_path, false)) blue_best
+        else None
+      | Red ->
+        if relay then
+          Option.map (fun (b : Route.t) -> (r.v :: b.as_path, false)) red_best
+        else if Some n = designated then None
+          (* red yields the locked blue provider *)
+        else Option.map (fun (b : Route.t) -> (r.v :: b.as_path, false)) red_best
+    in
+    plan
+  end
+
+let rec advertise_to t r n color =
+  if Link_state.link_up t.links r.v n then begin
+    let p = proc r color in
+    let want =
+      if Hashtbl.mem r.export_deny n then None else desired t r n color
+    in
+    let current = Hashtbl.find_opt p.rib_out n in
+    match (want, current) with
+    | None, None -> ()
+    | None, Some _ ->
+      Hashtbl.remove p.rib_out n;
+      send t r n { color; body = Withdraw { et_ok = not p.loss_pending } }
+    | Some w, Some c when w = c -> ()
+    | Some ((path, lock) as w), (Some _ | None) ->
+      let m = Hashtbl.find p.mrai n in
+      let now = Sim.now t.sim in
+      if Mrai.ready m ~now then begin
+        Mrai.note_sent m ~now;
+        Hashtbl.replace p.rib_out n w;
+        send t r n
+          { color; body = Announce { path; lock; et_ok = not p.loss_pending } }
+      end
+      else if not (Mrai.flush_scheduled m) then begin
+        Mrai.set_flush_scheduled m true;
+        Sim.schedule_at t.sim ~time:(Mrai.next_allowed m) (fun _ ->
+            Mrai.set_flush_scheduled m false;
+            advertise_to t r n color)
+      end
+  end
+
+let advertise_all t r =
+  Array.iter
+    (fun (n, _) ->
+      List.iter (fun color -> advertise_to t r n color) Color.all)
+    (Topology.neighbors t.topo r.v)
+
+(* --- decision -------------------------------------------------------- *)
+
+let origin_entry color =
+  (* the destination's own blue route carries the lock obligation *)
+  { route = Route.origin; lock = Color.equal color Color.Blue }
+
+let select_entry tbl =
+  Hashtbl.fold
+    (fun _ (e : entry) acc ->
+      match acc with
+      | None -> Some e
+      | Some cur -> if Decision.better e.route cur.route then Some e else acc)
+    tbl None
+
+(* Recompute one process's best; [loss] says whether the triggering event
+   was a route loss (drives the ET attribute and the instability flag).
+   Any rib change can alter the provider plan of both colours, so the
+   caller re-advertises everything afterwards. *)
+let recompute t r color ~loss =
+  let p = proc r color in
+  let best' =
+    if r.v = t.dest then Some (origin_entry color) else select_entry p.adj_rib_in
+  in
+  if best' <> p.best then begin
+    p.best <- best';
+    t.last_change <- Sim.now t.sim;
+    if loss then begin
+      p.unstable <- true;
+      p.loss_pending <- true
+    end
+    else begin
+      p.unstable <- false;
+      p.loss_pending <- false
+    end
+  end
+
+let receive t r ~from { color; body } =
+  if Link_state.node_up t.links r.v then begin
+    let p = proc r color in
+    (* the ET bit decides: a poisoning withdrawal sent while a *better*
+       route propagates carries ET=1 and must not trigger switching
+       (Lemma 3.1 — improvements cause no transients); withdrawal-type
+       events (failures, policy changes) are marked ET=0 by the AS where
+       they happened *)
+    let loss =
+      match body with
+      | Withdraw { et_ok } | Announce { et_ok; _ } -> not et_ok
+    in
+    (match body with
+    | Announce { path; lock; _ } ->
+      if List.mem r.v path then Hashtbl.remove p.adj_rib_in from
+      else
+        Hashtbl.replace p.adj_rib_in from
+          { route = { Route.as_path = path; cls = rel_exn t r.v from }; lock }
+    | Withdraw _ -> Hashtbl.remove p.adj_rib_in from);
+    recompute t r color ~loss;
+    advertise_all t r
+  end
+
+(* --- construction ----------------------------------------------------- *)
+
+let create sim topo ~dest ~coloring ?(mrai_base = 30.) ?(delay_lo = 0.010)
+    ?(delay_hi = 0.020) ?(spread_unlocked_blue = false) () =
+  let n = Topology.num_vertices topo in
+  if dest < 0 || dest >= n then invalid_arg "Stamp_net.create: bad destination";
+  let routers =
+    Array.init n (fun v ->
+        {
+          v;
+          procs =
+            Array.init 2 (fun _ ->
+                {
+                  adj_rib_in = Hashtbl.create 8;
+                  best = None;
+                  rib_out = Hashtbl.create 8;
+                  mrai = Hashtbl.create 8;
+                  unstable = false;
+                  loss_pending = false;
+                });
+          export_deny = Hashtbl.create 2;
+          chans = Hashtbl.create 8;
+        })
+  in
+  let t =
+    {
+      sim;
+      topo;
+      dest;
+      coloring;
+      spread_unlocked_blue;
+      routers;
+      links = Link_state.create ~n;
+      messages = 0;
+      last_change = 0.;
+    }
+  in
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun (v, _) ->
+          let deliver msg =
+            if Link_state.link_up t.links u v then
+              receive t routers.(v) ~from:u msg
+          in
+          Hashtbl.replace routers.(u).chans v
+            (Channel.create sim ~delay_lo ~delay_hi ~deliver);
+          List.iter
+            (fun color ->
+              Hashtbl.replace
+                (proc routers.(u) color).mrai v
+                (Mrai.create (Sim.rng sim) ~base:mrai_base ()))
+            Color.all)
+        (Topology.neighbors topo u))
+    (Topology.vertices topo);
+  t
+
+let start t =
+  let r = t.routers.(t.dest) in
+  List.iter (fun color -> recompute t r color ~loss:false) Color.all;
+  advertise_all t r
+
+(* --- failures ---------------------------------------------------------- *)
+
+let drop_session t u v =
+  let clear r peer =
+    List.iter
+      (fun color ->
+        let p = proc r color in
+        let lost_best =
+          match p.best with
+          | Some { route; _ } -> Route.learned_from route = Some peer
+          | None -> false
+        in
+        Hashtbl.remove p.adj_rib_in peer;
+        Hashtbl.remove p.rib_out peer;
+        recompute t r color ~loss:lost_best)
+      Color.all;
+    advertise_all t r
+  in
+  clear t.routers.(u) v;
+  clear t.routers.(v) u
+
+let fail_link ?(detect_delay = 0.) t u v =
+  if Topology.rel t.topo u v = None then
+    invalid_arg "Stamp_net.fail_link: vertices not adjacent";
+  if detect_delay < 0. then invalid_arg "Stamp_net.fail_link: negative delay";
+  Link_state.fail_link t.links u v;
+  if detect_delay = 0. then drop_session t u v
+  else Sim.schedule t.sim ~delay:detect_delay (fun _ -> drop_session t u v)
+
+let recover_link t u v =
+  if Topology.rel t.topo u v = None then
+    invalid_arg "Stamp_net.recover_link: vertices not adjacent";
+  Link_state.recover_link t.links u v;
+  (* both sessions re-establish with empty state; each side re-advertises
+     whatever the selective-announcement plan currently assigns the peer *)
+  let refresh r peer =
+    List.iter
+      (fun color ->
+        let p = proc r color in
+        Hashtbl.remove p.adj_rib_in peer;
+        Hashtbl.remove p.rib_out peer;
+        recompute t r color ~loss:false)
+      Color.all;
+    advertise_all t r
+  in
+  refresh t.routers.(u) v;
+  refresh t.routers.(v) u
+
+let fail_node t v =
+  Link_state.fail_node t.links v;
+  let r = t.routers.(v) in
+  List.iter
+    (fun color ->
+      let p = proc r color in
+      Hashtbl.reset p.adj_rib_in;
+      Hashtbl.reset p.rib_out;
+      p.best <- None)
+    Color.all;
+  Array.iter
+    (fun (n, _) ->
+      let rn = t.routers.(n) in
+      List.iter
+        (fun color ->
+          let p = proc rn color in
+          let lost_best =
+            match p.best with
+            | Some { route; _ } -> Route.learned_from route = Some v
+            | None -> false
+          in
+          Hashtbl.remove p.adj_rib_in v;
+          Hashtbl.remove p.rib_out v;
+          recompute t rn color ~loss:lost_best)
+        Color.all;
+      advertise_all t rn)
+    (Topology.neighbors t.topo v)
+
+let deny_export t v n =
+  if Topology.rel t.topo v n = None then
+    invalid_arg "Stamp_net.deny_export: vertices not adjacent";
+  let r = t.routers.(v) in
+  Hashtbl.replace r.export_deny n ();
+  (* a policy change is a withdrawal-type event: the AS where it happens
+     marks the resulting withdrawals ET=0 (Section 5.2) *)
+  List.iter
+    (fun color ->
+      let p = proc r color in
+      if Hashtbl.mem p.rib_out n then begin
+        Hashtbl.remove p.rib_out n;
+        send t r n { color; body = Withdraw { et_ok = false } }
+      end)
+    Color.all
+
+let allow_export t v n =
+  if Topology.rel t.topo v n = None then
+    invalid_arg "Stamp_net.allow_export: vertices not adjacent";
+  Hashtbl.remove t.routers.(v).export_deny n;
+  List.iter (fun c -> advertise_to t t.routers.(v) n c) Color.all
+
+(* --- observation -------------------------------------------------------- *)
+
+let best t color v =
+  Option.map (fun e -> e.route) (proc t.routers.(v) color).best
+
+let path t color v =
+  Option.map (fun (r : Route.t) -> v :: r.as_path) (best t color v)
+
+let has_both t v = best t Color.Red v <> None && best t Color.Blue v <> None
+let blue_is_locked t v = blue_lock_held t t.routers.(v)
+let unstable t color v = (proc t.routers.(v) color).unstable
+
+let in_use t v =
+  match (best t Color.Red v, best t Color.Blue v) with
+  | None, None -> None
+  | Some _, None -> Some Color.Red
+  | None, Some _ -> Some Color.Blue
+  | Some r, Some b ->
+    if Decision.better r b then Some Color.Red else Some Color.Blue
+
+(* Colour-aware forwarding (Section 5): forward on the packet's colour;
+   when that process's route is missing, broken or unstable, re-colour the
+   packet — at most once — and use the other process. *)
+let walk_all t =
+  let usable v color =
+    match best t color v with
+    | Some r -> begin
+      match Route.learned_from r with
+      | Some nh when Link_state.link_up t.links v nh -> Some nh
+      | Some _ | None -> None
+    end
+    | None -> None
+  in
+  let step v (color, switched) =
+    if not (Link_state.node_up t.links v) then `Drop
+    else begin
+      let stable c =
+        match usable v c with
+        | Some nh when not (unstable t c v) -> Some nh
+        | Some _ | None -> None
+      in
+      if switched then
+        (* the packet was already re-coloured once: stick to its colour *)
+        match usable v color with
+        | Some nh -> `Forward (nh, (color, true))
+        | None -> `Drop
+      else
+        match stable color with
+        | Some nh -> `Forward (nh, (color, false))
+        | None -> begin
+          match stable (Color.other color) with
+          | Some nh -> `Forward (nh, (Color.other color, true))
+          | None -> begin
+            (* both processes disturbed: any process that still has a
+               route can be used (Section 5.2) *)
+            match usable v color with
+            | Some nh -> `Forward (nh, (color, false))
+            | None -> begin
+              match usable v (Color.other color) with
+              | Some nh -> `Forward (nh, (Color.other color, true))
+              | None -> `Drop
+            end
+          end
+        end
+    end
+  in
+  let start v =
+    match in_use t v with
+    | Some c -> (c, false)
+    | None -> (Color.Blue, false)
+  in
+  Fwd_walk.walk_all
+    ~n:(Topology.num_vertices t.topo)
+    ~dest:t.dest ~start ~step
+    ~state_id:(fun (c, sw) -> (2 * Color.to_int c) + Bool.to_int sw)
+    ~num_states:4
+
+let announced t color v =
+  Hashtbl.fold
+    (fun n (_, lock) acc -> (n, lock) :: acc)
+    (proc t.routers.(v) color).rib_out []
+  |> List.sort compare
+
+let message_count t = t.messages
+let last_change t = t.last_change
+
+let to_table t color : Static_route.table =
+  Array.map
+    (fun r ->
+      match (proc r color).best with
+      | None -> None
+      | Some { route; _ } ->
+        Some { Static_route.as_path = route.Route.as_path; cls = route.Route.cls })
+    t.routers

@@ -1,0 +1,116 @@
+(** The STAMP protocol engine: two coordinated BGP processes per AS
+    (Section 4 of the paper), the [Lock] and [ET] path attributes, and
+    colour-aware packet forwarding (Section 5).
+
+    Each AS runs a red and a blue process. Both are standard BGP processes
+    (same decision process, valley-free export, per-peer-per-process MRAI,
+    [10 ms, 20 ms] delays) except for the {e selective announcement} rules
+    towards providers:
+
+    - announcements to customers and peers proceed freely for both colours;
+    - an AS holding a locked blue route re-announces its blue best, with
+      [Lock] set, to exactly one provider (the first alive provider in its
+      {!Coloring} preference order);
+    - red routes take precedence on all remaining providers; unlocked blue
+      fills providers for which no red route is available;
+    - an AS with a {e single} provider that relays both colours from the
+      same customer (a single-homed origin chain, paper footnote 4), or the
+      single-homed origin itself, announces both colours to that provider —
+      the initial colouring then happens at the first multi-homed ancestor.
+
+    The [ET] attribute (1 bit per update: caused by a route loss or not)
+    drives instability detection: a process whose best route is lost or
+    replaced by an [ET=0] update is flagged unstable, and packets are
+    switched to the other process, at most once per packet (Section 5.2). *)
+
+type t
+
+val create :
+  Sim.t ->
+  Topology.t ->
+  dest:Topology.vertex ->
+  coloring:Coloring.t ->
+  ?mrai_base:float ->
+  ?delay_lo:float ->
+  ?delay_hi:float ->
+  ?spread_unlocked_blue:bool ->
+  unit ->
+  t
+(** [spread_unlocked_blue] (default [false]) re-enables the propagation of
+    unlocked blue routes to red-less providers — the paper permits but does
+    not require it. Kept as an ablation switch: it couples the blue
+    process to red churn and measurably worsens STAMP's transient counts
+    (see DESIGN.md, design decision 6, and the `ablation` bench target). *)
+
+val start : t -> unit
+(** The destination originates its prefix on both processes. *)
+
+val sim : t -> Sim.t
+val dest : t -> Topology.vertex
+
+(** {1 Failure injection} *)
+
+val fail_link :
+  ?detect_delay:float -> t -> Topology.vertex -> Topology.vertex -> unit
+(** Fail a link; the adjacent routers react after [detect_delay] seconds
+    (default 0). Theorem 5.1 only promises loop/blackhole freedom {e once
+    the adjacent ASes have detected the event}: a positive delay opens a
+    window in which even STAMP drops packets at the dead link (quantified
+    by the `ablation` bench target). *)
+
+val fail_node : t -> Topology.vertex -> unit
+
+val deny_export : t -> Topology.vertex -> Topology.vertex -> unit
+(** Policy change: stop exporting both colours to a neighbour (withdrawals
+    follow immediately). *)
+
+val allow_export : t -> Topology.vertex -> Topology.vertex -> unit
+(** Revert {!deny_export}. *)
+
+val recover_link : t -> Topology.vertex -> Topology.vertex -> unit
+(** Bring a link back up: the sessions re-establish and both ends
+    re-advertise per the current selective-announcement plan. A route
+    addition event — by Lemma 3.1 it must cause no transient loops or
+    failures, which the test suite checks. *)
+
+(** {1 Observation} *)
+
+val best : t -> Color.t -> Topology.vertex -> Route.t option
+(** Current best route of one process at an AS. *)
+
+val path : t -> Color.t -> Topology.vertex -> Topology.vertex list option
+(** Full forwarding path [v :: as_path] of one process, if any. *)
+
+val has_both : t -> Topology.vertex -> bool
+(** Whether both processes currently hold a route at this AS. *)
+
+val blue_is_locked : t -> Topology.vertex -> bool
+(** Whether the AS holds any blue route with the [Lock] attribute set
+    (its own origin route counts at the destination). *)
+
+val unstable : t -> Color.t -> Topology.vertex -> bool
+(** Whether the process is currently flagged unstable at this AS (it
+    received a loss-caused update or an adjacent failure on its best). *)
+
+val in_use : t -> Topology.vertex -> Color.t option
+(** The process whose route the AS currently prefers for its own traffic
+    ([None] when neither process has a route). *)
+
+val walk_all : t -> Fwd_walk.status array
+(** Colour-aware forwarding status of every AS: packets start in the
+    source's {!in_use} colour, follow same-colour routes, and are
+    re-coloured at most once when the current colour's route is missing,
+    broken or unstable. *)
+
+val announced : t -> Color.t -> Topology.vertex -> (Topology.vertex * bool) list
+(** The neighbours a process currently advertises a route to, with the
+    [Lock] bit as sent, in increasing neighbour order. Exposed so tests can
+    check the selective-announcement invariants (red and blue never to the
+    same provider; at most one locked blue provider). *)
+
+val message_count : t -> int
+(** Updates sent across both processes (the paper's Section 6.3 overhead
+    metric: expected below twice the BGP count). *)
+
+val last_change : t -> float
+val to_table : t -> Color.t -> Static_route.table

@@ -1,0 +1,462 @@
+type cause = Link of Topology.vertex * Topology.vertex | Node of Topology.vertex
+
+type msg =
+  | Announce of { path : Topology.vertex list; rci : cause option }
+  | Withdraw of { rci : cause option }
+  | Failover of { path : Topology.vertex list option; rci : cause option }
+      (** [path = None] withdraws a previously advertised failover path *)
+
+type router = {
+  v : Topology.vertex;
+  mutable best : Route.t option;
+  adj_rib_in : (Topology.vertex, Route.t) Hashtbl.t;
+  failover_rib : (Topology.vertex, Topology.vertex list) Hashtbl.t;
+      (** failover paths received: advertiser → pinned path starting at the
+          advertiser *)
+  rib_out : (Topology.vertex, Topology.vertex list) Hashtbl.t;
+  mutable failover_out : (Topology.vertex * Topology.vertex list) option;
+      (** (receiver, path) of our currently advertised failover path *)
+  mutable withdrawn : Route.t option;
+      (** the last best route after it was withdrawn: R-BGP keeps
+          forwarding along it until an alternative is learned *)
+  export_deny : (Topology.vertex, unit) Hashtbl.t;
+  mrai : (Topology.vertex, Mrai.t) Hashtbl.t;
+  chans : (Topology.vertex, msg Channel.t) Hashtbl.t;
+  mutable known_causes : cause list;
+  mutable last_cause : cause option;
+}
+
+type t = {
+  sim : Sim.t;
+  topo : Topology.t;
+  dest : Topology.vertex;
+  rci : bool;
+  routers : router array;
+  links : Link_state.t;
+  mutable messages : int;
+  mutable last_change : float;
+}
+
+let sim t = t.sim
+let dest t = t.dest
+
+let rel_exn t u v =
+  match Topology.rel t.topo u v with
+  | Some r -> r
+  | None -> invalid_arg "Rbgp_net: vertices not adjacent"
+
+let cause_equal a b =
+  match (a, b) with
+  | Link (u, v), Link (u', v') -> (u = u' && v = v') || (u = v' && v = u')
+  | Node n, Node n' -> n = n'
+  | (Link _ | Node _), _ -> false
+
+(* Whether a stored AS path (owner excluded) traverses the failed element.
+   For a link cause the two endpoints must be consecutive in the path. *)
+let path_hits_cause path cause =
+  match cause with
+  | Node n -> List.mem n path
+  | Link (u, v) ->
+    let rec scan = function
+      | a :: (b :: _ as rest) ->
+        ((a = u && b = v) || (a = v && b = u)) || scan rest
+      | [] | [ _ ] -> false
+    in
+    scan path
+
+let send t r n msg =
+  t.messages <- t.messages + 1;
+  Channel.send (Hashtbl.find r.chans n) msg
+
+(* --- primary-route advertisement (same skeleton as Bgp_net) --------- *)
+
+let rec advertise_to t r n =
+  if Link_state.link_up t.links r.v n then begin
+    let to_rel = rel_exn t r.v n in
+    let desired =
+      match r.best with
+      | Some b
+        when Route.learned_from b <> Some n
+             && Export.exportable b ~to_rel
+             && not (Hashtbl.mem r.export_deny n) ->
+        Some (r.v :: b.as_path)
+      | Some _ | None -> None
+    in
+    let current = Hashtbl.find_opt r.rib_out n in
+    match (desired, current) with
+    | None, None -> ()
+    | None, Some _ ->
+      Hashtbl.remove r.rib_out n;
+      send t r n (Withdraw { rci = r.last_cause })
+    | Some p, Some p' when p = p' -> ()
+    | Some p, (Some _ | None) ->
+      let m = Hashtbl.find r.mrai n in
+      let now = Sim.now t.sim in
+      if Mrai.ready m ~now then begin
+        Mrai.note_sent m ~now;
+        Hashtbl.replace r.rib_out n p;
+        send t r n (Announce { path = p; rci = r.last_cause })
+      end
+      else if not (Mrai.flush_scheduled m) then begin
+        Mrai.set_flush_scheduled m true;
+        Sim.schedule_at t.sim ~time:(Mrai.next_allowed m) (fun _ ->
+            Mrai.set_flush_scheduled m false;
+            advertise_to t r n)
+      end
+  end
+
+(* --- failover-path advertisement ------------------------------------ *)
+
+(* Most disjoint alternate: fewest shared vertices with the best path
+   (the destination is shared by all candidates, so it never affects the
+   ranking), then the decision order. The recipient must not appear in the
+   alternate. *)
+let pick_failover r (best : Route.t) ~recipient =
+  let shared (alt : Route.t) =
+    List.length
+      (List.filter (fun x -> List.mem x best.as_path) alt.Route.as_path)
+  in
+  Hashtbl.fold
+    (fun from (alt : Route.t) acc ->
+      if Some from = Route.learned_from best || List.mem recipient alt.as_path
+      then acc
+      else
+        match acc with
+        | None -> Some alt
+        | Some cur ->
+          let s = shared alt and sc = shared cur in
+          if s < sc || (s = sc && Decision.better alt cur) then Some alt
+          else acc)
+    r.adj_rib_in None
+
+let update_failover t r =
+  let desired =
+    match r.best with
+    | None -> None
+    | Some b -> begin
+      match Route.learned_from b with
+      | None -> None (* destination itself *)
+      | Some nh -> begin
+        match pick_failover r b ~recipient:nh with
+        | None -> None
+        | Some alt -> Some (nh, r.v :: alt.Route.as_path)
+      end
+    end
+  in
+  match (desired, r.failover_out) with
+  | None, None -> ()
+  | Some d, Some cur when d = cur -> ()
+  | _ ->
+    (* withdraw from the previous receiver if it changes or disappears *)
+    (match r.failover_out with
+    | Some (prev, _)
+      when (match desired with Some (n, _) -> n <> prev | None -> true)
+           && Link_state.link_up t.links r.v prev ->
+      send t r prev (Failover { path = None; rci = r.last_cause })
+    | Some _ | None -> ());
+    (match desired with
+    | Some (n, p)
+      when Link_state.link_up t.links r.v n
+           && not (Hashtbl.mem r.export_deny n) ->
+      send t r n (Failover { path = Some p; rci = r.last_cause })
+    | Some _ | None -> ());
+    r.failover_out <- desired
+
+let advertise_all t r =
+  Array.iter (fun (n, _) -> advertise_to t r n) (Topology.neighbors t.topo r.v);
+  update_failover t r
+
+(* --- RCI purge ------------------------------------------------------- *)
+
+let learn_cause t r cause =
+  if t.rci && not (List.exists (cause_equal cause) r.known_causes) then begin
+    r.known_causes <- cause :: r.known_causes;
+    let purge tbl =
+      let stale =
+        Hashtbl.fold
+          (fun from path acc ->
+            if path_hits_cause path cause then from :: acc else acc)
+          tbl []
+      in
+      List.iter (Hashtbl.remove tbl) stale
+    in
+    let stale_routes =
+      Hashtbl.fold
+        (fun from (rt : Route.t) acc ->
+          if path_hits_cause rt.as_path cause then from :: acc else acc)
+        r.adj_rib_in []
+    in
+    List.iter (Hashtbl.remove r.adj_rib_in) stale_routes;
+    purge r.failover_rib;
+    (match r.withdrawn with
+    | Some (w : Route.t) when path_hits_cause w.as_path cause ->
+      r.withdrawn <- None
+    | Some _ | None -> ())
+  end;
+  r.last_cause <- Some cause
+
+let recompute t r =
+  let best' =
+    if r.v = t.dest then Some Route.origin else Decision.select_tbl r.adj_rib_in
+  in
+  if best' <> r.best then begin
+    (match (r.best, best') with
+    | Some old, None -> r.withdrawn <- Some old
+    | _, Some _ -> r.withdrawn <- None
+    | None, None -> ());
+    r.best <- best';
+    t.last_change <- Sim.now t.sim;
+    advertise_all t r
+  end
+  else update_failover t r
+
+let receive t r ~from msg =
+  if Link_state.node_up t.links r.v then begin
+    let rci =
+      match msg with
+      | Announce { rci; _ } | Withdraw { rci } | Failover { rci; _ } -> rci
+    in
+    (match rci with Some c -> learn_cause t r c | None -> ());
+    (match msg with
+    | Announce { path; _ } ->
+      let stale =
+        t.rci && List.exists (fun c -> path_hits_cause path c) r.known_causes
+      in
+      if List.mem r.v path || stale then Hashtbl.remove r.adj_rib_in from
+      else
+        Hashtbl.replace r.adj_rib_in from
+          { Route.as_path = path; cls = rel_exn t r.v from }
+    | Withdraw _ -> Hashtbl.remove r.adj_rib_in from
+    | Failover { path = None; _ } -> Hashtbl.remove r.failover_rib from
+    | Failover { path = Some p; _ } ->
+      let stale =
+        t.rci && List.exists (fun c -> path_hits_cause p c) r.known_causes
+      in
+      if stale then Hashtbl.remove r.failover_rib from
+      else Hashtbl.replace r.failover_rib from p);
+    recompute t r
+  end
+
+let create sim topo ~dest ~rci ?(mrai_base = 30.) ?(delay_lo = 0.010)
+    ?(delay_hi = 0.020) () =
+  let n = Topology.num_vertices topo in
+  if dest < 0 || dest >= n then invalid_arg "Rbgp_net.create: bad destination";
+  let routers =
+    Array.init n (fun v ->
+        {
+          v;
+          best = None;
+          adj_rib_in = Hashtbl.create 8;
+          failover_rib = Hashtbl.create 4;
+          rib_out = Hashtbl.create 8;
+          failover_out = None;
+          withdrawn = None;
+          export_deny = Hashtbl.create 2;
+          mrai = Hashtbl.create 8;
+          chans = Hashtbl.create 8;
+          known_causes = [];
+          last_cause = None;
+        })
+  in
+  let t =
+    {
+      sim;
+      topo;
+      dest;
+      rci;
+      routers;
+      links = Link_state.create ~n;
+      messages = 0;
+      last_change = 0.;
+    }
+  in
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun (v, _) ->
+          let deliver msg =
+            if Link_state.link_up t.links u v then
+              receive t routers.(v) ~from:u msg
+          in
+          Hashtbl.replace routers.(u).chans v
+            (Channel.create sim ~delay_lo ~delay_hi ~deliver);
+          Hashtbl.replace routers.(u).mrai v
+            (Mrai.create (Sim.rng sim) ~base:mrai_base ()))
+        (Topology.neighbors topo u))
+    (Topology.vertices topo);
+  t
+
+let start t = recompute t t.routers.(t.dest)
+
+let drop_session t u v =
+  let ru = t.routers.(u) and rv = t.routers.(v) in
+  Hashtbl.remove ru.adj_rib_in v;
+  Hashtbl.remove ru.rib_out v;
+  Hashtbl.remove ru.failover_rib v;
+  (match ru.failover_out with
+  | Some (n, _) when n = v -> ru.failover_out <- None
+  | Some _ | None -> ());
+  Hashtbl.remove rv.adj_rib_in u;
+  Hashtbl.remove rv.rib_out u;
+  Hashtbl.remove rv.failover_rib u;
+  match rv.failover_out with
+  | Some (n, _) when n = u -> rv.failover_out <- None
+  | Some _ | None -> ()
+
+let fail_link ?(detect_delay = 0.) t u v =
+  if Topology.rel t.topo u v = None then
+    invalid_arg "Rbgp_net.fail_link: vertices not adjacent";
+  if detect_delay < 0. then invalid_arg "Rbgp_net.fail_link: negative delay";
+  Link_state.fail_link t.links u v;
+  let react _ =
+    drop_session t u v;
+    let cause = Link (u, v) in
+    (* adjacent ASes know the root cause by local detection, with or
+       without the RCI protocol extension; [learn_cause] only purges under
+       RCI *)
+    t.routers.(u).last_cause <- Some cause;
+    t.routers.(v).last_cause <- Some cause;
+    learn_cause t t.routers.(u) cause;
+    learn_cause t t.routers.(v) cause;
+    recompute t t.routers.(u);
+    recompute t t.routers.(v)
+  in
+  if detect_delay = 0. then react t.sim
+  else Sim.schedule t.sim ~delay:detect_delay react
+
+let recover_link t u v =
+  if Topology.rel t.topo u v = None then
+    invalid_arg "Rbgp_net.recover_link: vertices not adjacent";
+  Link_state.recover_link t.links u v;
+  drop_session t u v;
+  (* recovered links clear the corresponding root cause: routes through the
+     link are valid again *)
+  let clear_cause r =
+    r.known_causes <-
+      List.filter (fun c -> not (cause_equal c (Link (u, v)))) r.known_causes
+  in
+  Array.iter clear_cause t.routers;
+  advertise_to t t.routers.(u) v;
+  advertise_to t t.routers.(v) u;
+  update_failover t t.routers.(u);
+  update_failover t t.routers.(v)
+
+let fail_node t v =
+  Link_state.fail_node t.links v;
+  let r = t.routers.(v) in
+  Hashtbl.reset r.adj_rib_in;
+  Hashtbl.reset r.rib_out;
+  Hashtbl.reset r.failover_rib;
+  r.failover_out <- None;
+  r.best <- None;
+  let cause = Node v in
+  Array.iter
+    (fun (n, _) ->
+      let rn = t.routers.(n) in
+      Hashtbl.remove rn.adj_rib_in v;
+      Hashtbl.remove rn.rib_out v;
+      Hashtbl.remove rn.failover_rib v;
+      (match rn.failover_out with
+      | Some (x, _) when x = v -> rn.failover_out <- None
+      | Some _ | None -> ());
+      learn_cause t rn cause;
+      recompute t rn)
+    (Topology.neighbors t.topo v)
+
+let deny_export t v n =
+  if Topology.rel t.topo v n = None then
+    invalid_arg "Rbgp_net.deny_export: vertices not adjacent";
+  Hashtbl.replace t.routers.(v).export_deny n ();
+  advertise_to t t.routers.(v) n;
+  update_failover t t.routers.(v)
+
+let allow_export t v n =
+  if Topology.rel t.topo v n = None then
+    invalid_arg "Rbgp_net.allow_export: vertices not adjacent";
+  Hashtbl.remove t.routers.(v).export_deny n;
+  advertise_to t t.routers.(v) n;
+  update_failover t t.routers.(v)
+
+let best t v = t.routers.(v).best
+
+let failover_choices t v =
+  Hashtbl.fold (fun from p acc -> (from, p) :: acc) t.routers.(v).failover_rib []
+  |> List.sort compare
+  |> List.map snd
+
+(* A pinned failover path delivers iff every hop is alive. *)
+let pinned_alive t path =
+  let rec scan = function
+    | a :: (b :: _ as rest) -> Link_state.link_up t.links a b && scan rest
+    | [ x ] -> Link_state.node_up t.links x
+    | [] -> true
+  in
+  scan path
+
+let walk_all t =
+  let step v () =
+    if not (Link_state.node_up t.links v) then `Drop
+    else begin
+      let primary =
+        match t.routers.(v).best with
+        | Some b -> begin
+          match Route.learned_from b with
+          | Some nh when Link_state.link_up t.links v nh -> Some nh
+          | Some _ | None -> None
+        end
+        | None -> None
+      in
+      let stale_nh =
+        (* keep forwarding along the withdrawn route until an alternative
+           or a root cause invalidates it *)
+        match t.routers.(v).withdrawn with
+        | Some w -> begin
+          match Route.learned_from w with
+          | Some nh when Link_state.link_up t.links v nh -> Some nh
+          | Some _ | None -> None
+        end
+        | None -> None
+      in
+      match (primary, stale_nh) with
+      | Some nh, _ | None, Some nh -> `Forward (nh, ())
+      | None, None -> begin
+        (* Deflect onto a stored failover path. The router picks the first
+           candidate whose advertiser is still reachable — it cannot know
+           whether the rest of the pinned path is alive. Under RCI, stale
+           failover paths were purged, so the pick is trustworthy; without
+           RCI the packet follows a possibly dead path and is lost. *)
+        let candidates =
+          Hashtbl.fold
+            (fun from p acc -> (from, p) :: acc)
+            t.routers.(v).failover_rib []
+          |> List.sort compare
+        in
+        match
+          List.find_opt
+            (fun (from, _) -> Link_state.link_up t.links v from)
+            candidates
+        with
+        | Some (_, p) -> if pinned_alive t p then `Deliver else `Drop
+        | None -> `Drop
+      end
+    end
+  in
+  Fwd_walk.walk_all
+    ~n:(Topology.num_vertices t.topo)
+    ~dest:t.dest
+    ~start:(fun _ -> ())
+    ~step
+    ~state_id:(fun () -> 0)
+    ~num_states:1
+
+let message_count t = t.messages
+let last_change t = t.last_change
+
+let to_table t : Static_route.table =
+  Array.map
+    (fun r ->
+      match r.best with
+      | None -> None
+      | Some (b : Route.t) ->
+        Some { Static_route.as_path = b.as_path; cls = b.cls })
+    t.routers

@@ -1,0 +1,1 @@
+lib/routing/disjoint.ml: Array Float Int List Queue Random Set Topology

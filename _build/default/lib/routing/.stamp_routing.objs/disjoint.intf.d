@@ -1,0 +1,1 @@
+lib/routing/disjoint.mli: Random Topology

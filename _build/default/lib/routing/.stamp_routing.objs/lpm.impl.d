@@ -1,0 +1,1 @@
+lib/routing/lpm.ml: Int32 List Prefix

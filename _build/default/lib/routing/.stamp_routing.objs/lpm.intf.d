@@ -1,0 +1,1 @@
+lib/routing/lpm.mli: Prefix

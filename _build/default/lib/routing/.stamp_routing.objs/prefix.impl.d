@@ -1,0 +1,1 @@
+lib/routing/prefix.ml: Format Int32 Printf Random Stdlib String

@@ -1,0 +1,1 @@
+lib/routing/prefix.mli: Format Random

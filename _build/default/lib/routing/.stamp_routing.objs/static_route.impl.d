@@ -1,0 +1,1 @@
+lib/routing/static_route.ml: Array List Option Queue Relationship Set Topology

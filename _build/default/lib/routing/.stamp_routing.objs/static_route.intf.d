@@ -1,0 +1,1 @@
+lib/routing/static_route.mli: Relationship Topology

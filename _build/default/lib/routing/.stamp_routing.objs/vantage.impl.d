@@ -1,0 +1,1 @@
+lib/routing/vantage.ml: Array List Static_route Topology

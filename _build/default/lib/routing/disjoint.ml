@@ -1,0 +1,75 @@
+let random_uphill_path st t ~src =
+  let rec climb v acc =
+    let provs = Topology.providers t v in
+    if Array.length provs = 0 then List.rev (v :: acc)
+    else
+      let p = provs.(Random.State.int st (Array.length provs)) in
+      climb p (v :: acc)
+  in
+  climb src []
+
+let reaches_tier1_avoiding t ~src ~blocked =
+  let n = Topology.num_vertices t in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  visited.(src) <- true;
+  Queue.add src queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if Topology.is_tier1 t v && (v = src || not (blocked v)) then found := true
+    else
+      Array.iter
+        (fun p ->
+          if (not visited.(p)) && not (blocked p) then begin
+            visited.(p) <- true;
+            Queue.add p queue
+          end)
+        (Topology.providers t v)
+  done;
+  !found
+
+let exists_disjoint_uphill t ~src path =
+  (match path with
+  | v :: _ when v = src -> ()
+  | _ -> invalid_arg "Disjoint.exists_disjoint_uphill: path must start at src");
+  let module S = Set.Make (Int) in
+  let blocked_set = S.remove src (S.of_list path) in
+  (* src must have at least one provider outside the path; the blocked
+     predicate covers it, but a tier-1 src has no disjoint second path by
+     definition (its "path" is itself). *)
+  if Topology.is_tier1 t src then false
+  else
+    reaches_tier1_avoiding t ~src ~blocked:(fun v -> S.mem v blocked_set)
+
+let enumerate_uphill_paths ?(limit = 100_000) t ~src =
+  let results = ref [] in
+  let count = ref 0 in
+  let rec climb v acc =
+    let provs = Topology.providers t v in
+    if Array.length provs = 0 then begin
+      incr count;
+      if !count > limit then
+        invalid_arg "Disjoint.enumerate_uphill_paths: limit exceeded";
+      results := List.rev (v :: acc) :: !results
+    end
+    else Array.iter (fun p -> climb p (v :: acc)) provs
+  in
+  climb src [];
+  List.rev !results
+
+let count_uphill_paths t ~src =
+  let n = Topology.num_vertices t in
+  let memo = Array.make n nan in
+  let rec count v =
+    if Float.is_nan memo.(v) then begin
+      let provs = Topology.providers t v in
+      let total =
+        if Array.length provs = 0 then 1.
+        else Array.fold_left (fun acc p -> acc +. count p) 0. provs
+      in
+      memo.(v) <- total
+    end;
+    memo.(v)
+  in
+  count src

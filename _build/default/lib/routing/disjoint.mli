@@ -1,0 +1,44 @@
+(** Uphill-path machinery over the provider DAG: random locked-blue walks,
+    blocked reachability and exhaustive enumeration.
+
+    These are the building blocks of the paper's Section 6.1 analysis
+    (Figure 1): a "locked blue path" is an uphill path from an origin to a
+    tier-1 AS obtained by letting each AS choose one provider; the path is
+    {e good} when a node-disjoint uphill path from the origin to another
+    tier-1 AS still exists. *)
+
+val random_uphill_path :
+  Random.State.t -> Topology.t -> src:Topology.vertex -> Topology.vertex list
+(** Walk from [src] to a tier-1 AS, choosing uniformly at random among the
+    current AS's providers at each step — exactly the distribution induced
+    by every AS picking its locked blue provider at random. The result
+    starts with [src] and ends at a tier-1 vertex ([[src]] itself when
+    [src] is tier-1). Termination is guaranteed on acyclic provider DAGs
+    where every AS reaches tier-1. *)
+
+val reaches_tier1_avoiding :
+  Topology.t -> src:Topology.vertex -> blocked:(Topology.vertex -> bool) -> bool
+(** Whether [src] has an uphill (customer→provider) path to some tier-1 AS
+    that traverses no blocked vertex. [src] itself is exempt from the
+    blocking predicate; a blocked tier-1 does not count as a valid
+    endpoint. *)
+
+val exists_disjoint_uphill :
+  Topology.t -> src:Topology.vertex -> Topology.vertex list -> bool
+(** [exists_disjoint_uphill t ~src path] holds when an uphill path from
+    [src] to a tier-1 AS exists that shares no vertex with [path] except
+    [src] itself — the "good locked blue path" test. [path] must start at
+    [src]. *)
+
+val enumerate_uphill_paths :
+  ?limit:int -> Topology.t -> src:Topology.vertex -> Topology.vertex list list
+(** All uphill paths from [src] to tier-1 ASes (each path starts at [src]
+    and ends at a tier-1 vertex). Exponential in general: raises
+    [Invalid_argument] once more than [limit] paths (default 100_000) have
+    been produced. Intended for tests and small graphs, where it
+    cross-checks the Monte-Carlo Φ estimates. *)
+
+val count_uphill_paths : Topology.t -> src:Topology.vertex -> float
+(** Number of uphill paths from [src] to tier-1 ASes, computed by dynamic
+    programming over the provider DAG (as a float: counts can exceed
+    integer range on large graphs). *)

@@ -1,0 +1,91 @@
+(* Binary trie on address bits, most significant first. A node may carry a
+   value (an entry whose prefix ends there) and two children for the next
+   bit. *)
+type 'a t = Leaf | Node of { value : 'a option; zero : 'a t; one : 'a t }
+
+let empty = Leaf
+
+let node value zero one =
+  match (value, zero, one) with
+  | None, Leaf, Leaf -> Leaf
+  | _ -> Node { value; zero; one }
+
+let bit addr i = Int32.logand (Int32.shift_right_logical addr (31 - i)) 1l = 1l
+
+let add prefix v t =
+  let addr = Prefix.network prefix and len = Prefix.length prefix in
+  let rec go t depth =
+    match t with
+    | Leaf ->
+      if depth = len then node (Some v) Leaf Leaf
+      else if bit addr depth then node None Leaf (go Leaf (depth + 1))
+      else node None (go Leaf (depth + 1)) Leaf
+    | Node { value; zero; one } ->
+      if depth = len then node (Some v) zero one
+      else if bit addr depth then node value zero (go one (depth + 1))
+      else node value (go zero (depth + 1)) one
+  in
+  go t 0
+
+let remove prefix t =
+  let addr = Prefix.network prefix and len = Prefix.length prefix in
+  let rec go t depth =
+    match t with
+    | Leaf -> Leaf
+    | Node { value; zero; one } ->
+      if depth = len then node None zero one
+      else if bit addr depth then node value zero (go one (depth + 1))
+      else node value (go zero (depth + 1)) one
+  in
+  go t 0
+
+let find prefix t =
+  let addr = Prefix.network prefix and len = Prefix.length prefix in
+  let rec go t depth =
+    match t with
+    | Leaf -> None
+    | Node { value; zero; one } ->
+      if depth = len then value
+      else if bit addr depth then go one (depth + 1)
+      else go zero (depth + 1)
+  in
+  go t 0
+
+let lookup t addr =
+  let rec go t depth best =
+    match t with
+    | Leaf -> best
+    | Node { value; zero; one } ->
+      let best =
+        match value with
+        | Some v -> Some (Prefix.make addr depth, v)
+        | None -> best
+      in
+      if depth = 32 then best
+      else if bit addr depth then go one (depth + 1) best
+      else go zero (depth + 1) best
+  in
+  go t 0 None
+
+let of_list entries =
+  List.fold_left (fun t (p, v) -> add p v t) empty entries
+
+let to_list t =
+  (* walk the trie reconstructing prefixes *)
+  let rec go t depth addr acc =
+    match t with
+    | Leaf -> acc
+    | Node { value; zero; one } ->
+      let acc =
+        go one (depth + 1)
+          (Int32.logor addr (Int32.shift_left 1l (31 - depth)))
+          acc
+      in
+      let acc = go zero (depth + 1) addr acc in
+      match value with
+      | Some v -> (Prefix.make addr depth, v) :: acc
+      | None -> acc
+  in
+  go t 0 0l [] |> List.sort (fun (p, _) (q, _) -> Prefix.compare p q)
+
+let cardinal t = List.length (to_list t)

@@ -1,0 +1,26 @@
+(** Longest-prefix-match forwarding tables: a binary trie from IPv4
+    prefixes to arbitrary values, as used by a router's FIB. *)
+
+type 'a t
+(** Immutable trie. *)
+
+val empty : 'a t
+
+val add : Prefix.t -> 'a -> 'a t -> 'a t
+(** Insert or replace the entry for a prefix. *)
+
+val remove : Prefix.t -> 'a t -> 'a t
+(** Remove the exact entry for a prefix (no-op if absent). *)
+
+val find : Prefix.t -> 'a t -> 'a option
+(** Exact-match lookup. *)
+
+val lookup : 'a t -> int32 -> (Prefix.t * 'a) option
+(** Longest-prefix match for an address: the most specific entry whose
+    prefix contains it. *)
+
+val of_list : (Prefix.t * 'a) list -> 'a t
+val to_list : 'a t -> (Prefix.t * 'a) list
+(** All entries in increasing {!Prefix.compare} order. *)
+
+val cardinal : 'a t -> int

@@ -1,0 +1,76 @@
+type t = { network : int32; length : int }
+
+(* mask with the top [len] bits set *)
+let mask_of len =
+  if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
+
+let make addr len =
+  if len < 0 || len > 32 then invalid_arg "Prefix.make: length out of [0, 32]";
+  { network = Int32.logand addr (mask_of len); length = len }
+
+let addr_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> begin
+    let byte x =
+      match int_of_string_opt x with
+      | Some v when v >= 0 && v <= 255 -> v
+      | _ -> invalid_arg (Printf.sprintf "Prefix.addr_of_string: %S" s)
+    in
+    let a = byte a and b = byte b and c = byte c and d = byte d in
+    Int32.of_int ((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d)
+  end
+  | _ -> invalid_arg (Printf.sprintf "Prefix.addr_of_string: %S" s)
+
+let addr_to_string addr =
+  let i = Int32.to_int (Int32.logand addr 0xFFFFFFFFl) land 0xFFFFFFFF in
+  Printf.sprintf "%d.%d.%d.%d"
+    ((i lsr 24) land 255)
+    ((i lsr 16) land 255)
+    ((i lsr 8) land 255)
+    (i land 255)
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> make (addr_of_string s) 32
+  | Some i ->
+    let addr = addr_of_string (String.sub s 0 i) in
+    let len =
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some l -> l
+      | None -> invalid_arg (Printf.sprintf "Prefix.of_string: %S" s)
+    in
+    make addr len
+
+let to_string p = Printf.sprintf "%s/%d" (addr_to_string p.network) p.length
+let network p = p.network
+let length p = p.length
+
+let mem p addr = Int32.logand addr (mask_of p.length) = p.network
+
+let subsumes p q =
+  p.length <= q.length && Int32.logand q.network (mask_of p.length) = p.network
+
+let compare a b =
+  (* compare network addresses as unsigned *)
+  let ua = Int32.to_int (Int32.logand a.network 0xFFFFFFFFl) land 0xFFFFFFFF in
+  let ub = Int32.to_int (Int32.logand b.network 0xFFFFFFFFl) land 0xFFFFFFFF in
+  if ua <> ub then Stdlib.compare ua ub else Stdlib.compare a.length b.length
+
+let equal a b = compare a b = 0
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let of_asn asn =
+  if asn < 1 || asn > 65535 then
+    invalid_arg "Prefix.of_asn: ASN outside [1, 65535]";
+  let b = (asn lsr 8) land 255 and c = asn land 255 in
+  make (Int32.of_int ((10 lsl 24) lor (b lsl 16) lor (c lsl 8))) 24
+
+let random_member st p =
+  let host_bits = 32 - p.length in
+  if host_bits = 0 then p.network
+  else
+    let host =
+      if host_bits >= 30 then Random.State.bits st
+      else Random.State.int st (1 lsl host_bits)
+    in
+    Int32.logor p.network (Int32.of_int (host land ((1 lsl host_bits) - 1)))

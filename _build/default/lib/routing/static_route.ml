@@ -1,0 +1,177 @@
+type entry = { as_path : Topology.vertex list; cls : Relationship.t }
+type table = entry option array
+
+let pref e = Relationship.local_pref e.cls
+let path_len e = List.length e.as_path
+
+let next_hop_of_entry e =
+  match e.as_path with [] -> None | nh :: _ -> Some nh
+
+let better a b =
+  (* destination's own entry has an empty path and wins on length within
+     the top preference class *)
+  if pref a <> pref b then pref a > pref b
+  else if path_len a <> path_len b then path_len a < path_len b
+  else
+    match (next_hop_of_entry a, next_hop_of_entry b) with
+    | None, _ -> true
+    | Some _, None -> false
+    | Some x, Some y -> x < y
+
+(* Dijkstra priority queue keyed by (length, next_hop); a simple module
+   over Set is enough at this scale. *)
+module Pq = Set.Make (struct
+  type t = int * int * int (* length, next_hop, vertex *)
+
+  let compare = compare
+end)
+
+let compute t ~dest =
+  let n = Topology.num_vertices t in
+  (* reject sibling links: the phase structure below assumes none *)
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun (_, r) ->
+        if Relationship.equal r Relationship.Sibling then
+          invalid_arg "Static_route.compute: sibling links unsupported")
+      (Topology.neighbors t v)
+  done;
+  (* Per-vertex best length and next hop for the currently decided class;
+     cls.(v) records which phase decided v. *)
+  let best_len = Array.make n max_int in
+  let best_nh = Array.make n (-1) in
+  let best_cls = Array.make n None in
+  (* Phase 1: customer routes = BFS from dest up customer→provider links.
+     A provider learns from its customer; the customer only exports if its
+     own best is a customer route, which in this phase is exactly the BFS
+     tree. Tie-break on lowest next hop is realised by scanning customers
+     in a second pass once distances are known. *)
+  let dist_up = Array.make n max_int in
+  dist_up.(dest) <- 0;
+  let queue = Queue.create () in
+  Queue.add dest queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun p ->
+        if dist_up.(p) = max_int then begin
+          dist_up.(p) <- dist_up.(v) + 1;
+          Queue.add p queue
+        end)
+      (Topology.providers t v)
+  done;
+  best_len.(dest) <- 0;
+  best_cls.(dest) <- Some Relationship.Customer;
+  for v = 0 to n - 1 do
+    if v <> dest && dist_up.(v) < max_int then begin
+      (* pick the lowest-id customer at distance dist_up(v) - 1 *)
+      Array.iter
+        (fun c ->
+          if dist_up.(c) = dist_up.(v) - 1 && (best_nh.(v) < 0 || c < best_nh.(v))
+          then best_nh.(v) <- c)
+        (Topology.customers t v);
+      best_len.(v) <- dist_up.(v);
+      best_cls.(v) <- Some Relationship.Customer
+    end
+  done;
+  (* Phase 2: peer routes, for vertices with no customer route. A peer
+     exports only customer routes (and the destination exports its own). *)
+  for v = 0 to n - 1 do
+    if v <> dest && best_cls.(v) = None then
+      Array.iter
+        (fun p ->
+          if p = dest || dist_up.(p) < max_int then begin
+            let len = (if p = dest then 0 else dist_up.(p)) + 1 in
+            let better_nh =
+              best_cls.(v) <> None
+              && (len, p) < (best_len.(v), best_nh.(v))
+            in
+            if best_cls.(v) = None || better_nh then begin
+              best_len.(v) <- len;
+              best_nh.(v) <- p;
+              best_cls.(v) <- Some Relationship.Peer
+            end
+          end)
+        (Topology.peers t v)
+  done;
+  (* Phase 3: provider routes. Every vertex already decided (customer or
+     peer class, or the destination) exports its best to its customers;
+     undecided vertices take the provider route minimising
+     (provider's best length + 1, provider id), where the provider's best
+     may itself be a provider route — resolved in increasing length by
+     Dijkstra. *)
+  let pq = ref Pq.empty in
+  let push v = pq := Pq.add (best_len.(v), max 0 best_nh.(v), v) !pq in
+  for v = 0 to n - 1 do
+    if best_cls.(v) <> None then push v
+  done;
+  let settled = Array.make n false in
+  while not (Pq.is_empty !pq) do
+    let ((len, _, u) as elt) = Pq.min_elt !pq in
+    pq := Pq.remove elt !pq;
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      (* u's best is now final; offer it to u's customers that lack a
+         customer/peer route *)
+      Array.iter
+        (fun v ->
+          if
+            (not settled.(v))
+            && (best_cls.(v) = None || best_cls.(v) = Some Relationship.Provider)
+          then begin
+            let cand = (len + 1, u) in
+            let current =
+              if best_cls.(v) = Some Relationship.Provider then
+                (best_len.(v), best_nh.(v))
+              else (max_int, max_int)
+            in
+            if cand < current then begin
+              best_len.(v) <- len + 1;
+              best_nh.(v) <- u;
+              best_cls.(v) <- Some Relationship.Provider;
+              push v
+            end
+          end)
+        (Topology.customers t u)
+    end
+  done;
+  (* Reconstruct full AS paths by following next hops. *)
+  let table : table = Array.make n None in
+  let rec entry_of v =
+    match table.(v) with
+    | Some _ as e -> e
+    | None ->
+      if best_cls.(v) = None then None
+      else if v = dest then begin
+        let e = Some { as_path = []; cls = Relationship.Customer } in
+        table.(v) <- e;
+        e
+      end
+      else begin
+        let nh = best_nh.(v) in
+        match entry_of nh with
+        | None -> None (* cannot happen: next hops are decided vertices *)
+        | Some nh_entry ->
+          let e =
+            Some
+              {
+                as_path = nh :: nh_entry.as_path;
+                cls = Option.get best_cls.(v);
+              }
+          in
+          table.(v) <- e;
+          e
+      end
+  in
+  for v = 0 to n - 1 do
+    ignore (entry_of v)
+  done;
+  table
+
+let next_hop (table : table) v =
+  match table.(v) with
+  | None -> None
+  | Some e -> ( match e.as_path with [] -> None | nh :: _ -> Some nh)
+
+let path_from (table : table) v =
+  match table.(v) with None -> None | Some e -> Some (v :: e.as_path)

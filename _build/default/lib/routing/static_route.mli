@@ -1,0 +1,53 @@
+(** Static computation of the unique stable BGP routing under the paper's
+    policy assumptions (Gao–Rexford): prefer-customer route selection and
+    valley-free export, with shortest-AS-path then lowest-next-hop
+    tie-breaking.
+
+    Under these policies BGP is safe and converges to a unique fixed point
+    [Gao & Rexford, SIGMETRICS 2000]; this module computes that fixed point
+    directly in three phases (customer routes up the provider DAG, then
+    peer routes, then provider routes in increasing length order), without
+    running the event-driven simulator. It serves as
+
+    - the ground-truth oracle the simulator is tested against, and
+    - the fast substrate for static experiments (Figure 1, partial
+      deployment).
+
+    The tie-breaking order — higher local-pref (customer 100 / peer 90 /
+    provider 80), then shorter AS path, then lowest next-hop vertex —
+    matches {!Stamp_bgp.Decision} exactly. *)
+
+type entry = {
+  as_path : Topology.vertex list;
+      (** AS-level path from (excluding) the route owner to (including) the
+          destination; empty for the destination itself *)
+  cls : Relationship.t;
+      (** relationship of the neighbour the route was learned from;
+          [Customer] for the destination's own entry *)
+}
+
+type table = entry option array
+(** One optional entry per vertex ([None] = destination unreachable, which
+    cannot happen when the topology satisfies {!Topology.all_reach_tier1}). *)
+
+val compute : Topology.t -> dest:Topology.vertex -> table
+(** Stable routing towards [dest] for every AS.
+    @raise Invalid_argument if the topology contains sibling links (the
+    oracle's phase structure assumes pure customer/peer/provider
+    relationships, which both the generator and the paper do). *)
+
+val next_hop : table -> Topology.vertex -> Topology.vertex option
+(** First AS of the entry's path, if any. [None] for the destination itself
+    and for unreachable vertices. *)
+
+val path_from : table -> Topology.vertex -> Topology.vertex list option
+(** Full forwarding path including the source vertex itself:
+    [Some (v :: as_path)] — or [Some [v]] for the destination. *)
+
+val pref : entry -> int
+(** Local preference of an entry, per {!Relationship.local_pref}. *)
+
+val better : entry -> entry -> bool
+(** [better a b] iff [a] wins the decision process against [b]:
+    higher pref, then shorter path, then lowest next hop. The destination's
+    own entry beats everything. *)

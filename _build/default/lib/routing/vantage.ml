@@ -1,0 +1,38 @@
+let paths_from topo ~vantage =
+  let paths = ref [] in
+  Array.iter
+    (fun dest ->
+      if dest <> vantage then begin
+        let table = Static_route.compute topo ~dest in
+        match Static_route.path_from table vantage with
+        | Some path when List.length path >= 2 ->
+          paths := List.map (Topology.asn topo) path :: !paths
+        | Some _ | None -> ()
+      end)
+    (Topology.vertices topo);
+  List.rev !paths
+
+(* one oracle computation per destination, shared by all vantage points *)
+let collect topo ~vantage =
+  let paths = ref [] in
+  Array.iter
+    (fun dest ->
+      let table = Static_route.compute topo ~dest in
+      List.iter
+        (fun v ->
+          if v <> dest then
+            match Static_route.path_from table v with
+            | Some path when List.length path >= 2 ->
+              paths := List.map (Topology.asn topo) path :: !paths
+            | Some _ | None -> ())
+        vantage)
+    (Topology.vertices topo);
+  List.rev !paths
+
+let default_vantages topo ~count =
+  let n = Topology.num_vertices topo in
+  if count > n then invalid_arg "Vantage.default_vantages: count > ASes";
+  Array.to_list (Topology.vertices topo)
+  |> List.sort (fun a b ->
+         compare (Topology.degree topo b, a) (Topology.degree topo a, b))
+  |> List.filteri (fun i _ -> i < count)

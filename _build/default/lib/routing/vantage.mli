@@ -1,0 +1,19 @@
+(** Synthetic route-collector feeds: the AS paths that vantage-point ASes
+    would contribute to a RouteViews-style collector, computed from the
+    stable routing.
+
+    Combined with {!Gao_inference} this closes the paper's data pipeline
+    without real table dumps: plant a topology, export what k vantage ASes
+    see, infer the relationships back, measure agreement. *)
+
+val paths_from : Topology.t -> vantage:Topology.vertex -> int list list
+(** The vantage AS's stable path (as an ASN list, vantage first, origin
+    last) towards every other AS. *)
+
+val collect : Topology.t -> vantage:Topology.vertex list -> int list list
+(** Union of {!paths_from} over several vantage points, in order. *)
+
+val default_vantages : Topology.t -> count:int -> Topology.vertex list
+(** A deterministic spread of vantage ASes: the [count] highest-degree
+    ASes (route collectors peer with well-connected networks).
+    @raise Invalid_argument if [count] exceeds the AS count. *)

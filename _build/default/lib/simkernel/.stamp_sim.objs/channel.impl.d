@@ -1,0 +1,1 @@
+lib/simkernel/channel.ml: Float Random Sim

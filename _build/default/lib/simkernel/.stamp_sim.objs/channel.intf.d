@@ -1,0 +1,1 @@
+lib/simkernel/channel.mli: Sim

@@ -1,0 +1,1 @@
+lib/simkernel/event_heap.ml: Array Float

@@ -1,0 +1,1 @@
+lib/simkernel/sim.ml: Event_heap Float Random

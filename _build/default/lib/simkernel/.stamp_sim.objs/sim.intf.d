@@ -1,0 +1,1 @@
+lib/simkernel/sim.mli: Random

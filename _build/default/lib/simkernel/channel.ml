@@ -1,0 +1,25 @@
+type 'a t = {
+  sim : Sim.t;
+  delay_lo : float;
+  delay_hi : float;
+  deliver : 'a -> unit;
+  mutable last_delivery : float;
+  mutable sent : int;
+}
+
+let create ?(delay_lo = 0.010) ?(delay_hi = 0.020) sim ~deliver =
+  if delay_lo < 0. || delay_hi < delay_lo then
+    invalid_arg "Channel.create: bad delay bounds";
+  { sim; delay_lo; delay_hi; deliver; last_delivery = 0.; sent = 0 }
+
+(* Keep FIFO order: a message never overtakes a previously sent one. *)
+let send t msg =
+  let delay =
+    t.delay_lo +. Random.State.float (Sim.rng t.sim) (t.delay_hi -. t.delay_lo)
+  in
+  let at = Float.max (Sim.now t.sim +. delay) (t.last_delivery +. 1e-9) in
+  t.last_delivery <- at;
+  t.sent <- t.sent + 1;
+  Sim.schedule_at t.sim ~time:at (fun _ -> t.deliver msg)
+
+let sent_count t = t.sent

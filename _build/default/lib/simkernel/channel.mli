@@ -1,0 +1,22 @@
+(** Point-to-point ordered message channels with random per-message delay.
+
+    BGP sessions run over TCP: messages between two routers arrive in
+    order. A channel draws an independent delay for each message (the
+    paper's combined processing + transmission delay, uniform in
+    [10 ms, 20 ms] by default) but never reorders: if a later message would
+    overtake an earlier one, its delivery is pushed just after it. *)
+
+type 'a t
+
+val create :
+  ?delay_lo:float -> ?delay_hi:float -> Sim.t -> deliver:('a -> unit) -> 'a t
+(** New channel delivering messages through [deliver]. Delays are drawn
+    uniformly from [[delay_lo, delay_hi]] (defaults 0.010 s and 0.020 s,
+    matching the paper). *)
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a message for delayed, ordered delivery. *)
+
+val sent_count : 'a t -> int
+(** Number of messages sent through this channel (for the protocol-overhead
+    experiment of Section 6.3). *)

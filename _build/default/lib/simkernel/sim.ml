@@ -1,0 +1,54 @@
+type t = {
+  mutable clock : float;
+  heap : (t -> unit) Event_heap.t;
+  rng : Random.State.t;
+  mutable events_processed : int;
+}
+
+let create ?(seed = 0) () =
+  {
+    clock = 0.;
+    heap = Event_heap.create ();
+    rng = Random.State.make [| seed |];
+    events_processed = 0;
+  }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule t ~delay f =
+  if Float.is_nan delay || delay < 0. then
+    invalid_arg "Sim.schedule: negative or NaN delay";
+  Event_heap.push t.heap ~time:(t.clock +. delay) f
+
+let schedule_at t ~time f =
+  if Float.is_nan time || time < t.clock then
+    invalid_arg "Sim.schedule_at: time in the past";
+  Event_heap.push t.heap ~time f
+
+let step t =
+  match Event_heap.pop_min t.heap with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    t.events_processed <- t.events_processed + 1;
+    f t;
+    true
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  let processed = ref 0 in
+  let continue = ref true in
+  while !continue && !processed < max_events do
+    match Event_heap.peek_time t.heap with
+    | None -> continue := false
+    | Some time when time > until -> continue := false
+    | Some _ ->
+      ignore (step t);
+      incr processed
+  done;
+  (* virtual time passes even when nothing happens: advance the clock to
+     the horizon so callers can step a simulation in fixed increments *)
+  if Float.is_finite until && t.clock < until then t.clock <- until
+
+let pending t = Event_heap.size t.heap
+let events_processed t = t.events_processed

@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine: a virtual clock, a deterministic RNG
+    and an event queue of callbacks.
+
+    All protocol engines in this repository (BGP, R-BGP, STAMP) are driven
+    by one [Sim.t] per experiment run. Reproducibility contract: the same
+    seed and the same sequence of [schedule] calls produce the same
+    execution. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh simulation at time 0 (default seed 0). *)
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val rng : t -> Random.State.t
+(** The simulation's RNG. All protocol randomness must come from here. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** Run a callback [delay] seconds from now.
+    @raise Invalid_argument on negative or NaN delay. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Run a callback at an absolute time.
+    @raise Invalid_argument if [time] precedes the current time. *)
+
+val step : t -> bool
+(** Process the earliest pending event; [false] when the queue is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Process events until the queue drains, the clock passes [until], or
+    [max_events] have been processed (default: unbounded). Events scheduled
+    past [until] remain queued; when a finite [until] is given the clock
+    advances to it even if no event fell inside the window, so a simulation
+    can be stepped in fixed increments. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val events_processed : t -> int
+(** Total events processed since creation. *)

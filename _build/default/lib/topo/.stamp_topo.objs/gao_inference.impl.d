@@ -1,0 +1,1 @@
+lib/topo/gao_inference.ml: Array Float Hashtbl List Option Relationship Topology

@@ -1,0 +1,1 @@
+lib/topo/gao_inference.mli: Topology

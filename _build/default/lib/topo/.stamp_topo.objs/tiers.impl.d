@@ -1,0 +1,1 @@
+lib/topo/tiers.ml: Array Queue Topology

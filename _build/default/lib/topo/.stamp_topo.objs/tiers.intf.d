@@ -1,0 +1,1 @@
+lib/topo/tiers.mli: Topology

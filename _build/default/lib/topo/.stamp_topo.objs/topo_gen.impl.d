@@ -1,0 +1,1 @@
+lib/topo/topo_gen.ml: Array Float Hashtbl List Random Topology

@@ -1,0 +1,1 @@
+lib/topo/topo_gen.mli: Topology

@@ -1,0 +1,1 @@
+lib/topo/topo_io.ml: Array Buffer Fun List Printf Relationship String Topology

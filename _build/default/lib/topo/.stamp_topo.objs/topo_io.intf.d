@@ -1,0 +1,1 @@
+lib/topo/topo_io.mli: Topology

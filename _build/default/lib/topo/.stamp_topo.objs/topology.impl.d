@@ -1,0 +1,1 @@
+lib/topo/topology.ml: Array Format Fun Hashtbl List Printf Queue Relationship

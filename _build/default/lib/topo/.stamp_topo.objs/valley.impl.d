@@ -1,0 +1,1 @@
+lib/topo/valley.ml: Array Int List Printf Queue Relationship Set Topology

@@ -1,0 +1,1 @@
+lib/topo/valley.mli: Topology

@@ -1,0 +1,160 @@
+type verdict = P2c of int * int | P2p of int * int | Sib of int * int
+
+(* Collapse consecutive duplicates (AS-path prepending). *)
+let collapse path =
+  let rec loop = function
+    | a :: b :: rest when a = b -> loop (b :: rest)
+    | a :: rest -> a :: loop rest
+    | [] -> []
+  in
+  loop path
+
+let ordered_pair a b = if a < b then (a, b) else (b, a)
+
+let infer ?(peer_degree_ratio = 60.) paths =
+  let paths = List.map collapse paths in
+  (* Degrees from the union of all path edges. *)
+  let neighbours : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+  let note_edge a b =
+    let tbl =
+      match Hashtbl.find_opt neighbours a with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace neighbours a tbl;
+        tbl
+    in
+    Hashtbl.replace tbl b ()
+  in
+  let rec edges_of = function
+    | a :: (b :: _ as rest) ->
+      note_edge a b;
+      note_edge b a;
+      edges_of rest
+    | [] | [ _ ] -> ()
+  in
+  List.iter edges_of paths;
+  let degree a =
+    match Hashtbl.find_opt neighbours a with
+    | Some tbl -> Hashtbl.length tbl
+    | None -> 0
+  in
+  (* Phase 1: transit votes. transit[(a, b)] counts the paths in which b
+     appears on the provider side of the a-b link. Viewed as a forwarding
+     path from the vantage point to the origin, a valley-free path climbs
+     until the top provider (the highest-degree AS) and descends after
+     it. *)
+  let transit : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let votes a b = Option.value ~default:0 (Hashtbl.find_opt transit (a, b)) in
+  let vote a b = Hashtbl.replace transit (a, b) (1 + votes a b) in
+  let top_provider_index arr =
+    let best = ref 0 in
+    Array.iteri (fun i a -> if degree a > degree arr.(!best) then best := i) arr;
+    !best
+  in
+  (* Phase 2 bookkeeping: a valley-free path has at most one peer link, at
+     its top, so edges not adjacent to a top provider can never be peer
+     links; and of the two top-adjacent edges, the peer candidate is the
+     one towards the higher-degree neighbour (Gao's Algorithm 3). *)
+  let not_peering : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let potential_peer : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun path ->
+      match path with
+      | [] | [ _ ] -> ()
+      | _ ->
+        let arr = Array.of_list path in
+        let len = Array.length arr in
+        let j = top_provider_index arr in
+        for i = 0 to len - 2 do
+          let a = arr.(i) and b = arr.(i + 1) in
+          if i < j then vote a b (* b transits for a *) else vote b a;
+          if i <> j - 1 && i <> j then
+            Hashtbl.replace not_peering (ordered_pair a b) ()
+        done;
+        (* mark the candidate peer edge at the top *)
+        let deg_left = if j > 0 then degree arr.(j - 1) else -1 in
+        let deg_right = if j < len - 1 then degree arr.(j + 1) else -1 in
+        if deg_left >= 0 || deg_right >= 0 then
+          if deg_left > deg_right then
+            Hashtbl.replace potential_peer (ordered_pair arr.(j - 1) arr.(j)) ()
+          else
+            Hashtbl.replace potential_peer (ordered_pair arr.(j) arr.(j + 1)) ())
+    paths;
+  (* Final classification of every adjacent pair. *)
+  let pairs : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun a tbl ->
+      Hashtbl.iter (fun b () -> Hashtbl.replace pairs (ordered_pair a b) ()) tbl)
+    neighbours;
+  let verdicts = ref [] in
+  Hashtbl.iter
+    (fun (a, b) () ->
+      let tab = votes a b (* b provider side *) and tba = votes b a in
+      let da = float_of_int (degree a) and db = float_of_int (degree b) in
+      let ratio_ok =
+        Float.max da db /. Float.max 1. (Float.min da db) < peer_degree_ratio
+      in
+      let balanced = 2 * min tab tba >= max tab tba in
+      let peer_candidate =
+        Hashtbl.mem potential_peer (a, b)
+        && (not (Hashtbl.mem not_peering (a, b)))
+        && ratio_ok
+      in
+      let verdict =
+        if peer_candidate && balanced then P2p (a, b)
+        else if tab > 0 && tba > 0 && balanced then Sib (a, b)
+        else if tab > tba then P2c (b, a) (* b transits for a: b provider *)
+        else if tba > tab then P2c (a, b)
+        else if
+          (* no transit evidence at all *)
+          ratio_ok && not (Hashtbl.mem not_peering (a, b))
+        then P2p (a, b)
+        else if da >= db then P2c (a, b)
+        else P2c (b, a)
+      in
+      verdicts := verdict :: !verdicts)
+    pairs;
+  List.sort compare !verdicts
+
+let to_topology verdicts =
+  let b = Topology.Builder.create () in
+  List.iter
+    (function
+      | P2c (p, c) -> Topology.Builder.add_p2c b ~provider:p ~customer:c
+      | P2p (x, y) -> Topology.Builder.add_p2p b x y
+      | Sib (x, y) -> Topology.Builder.add_sibling b x y)
+    verdicts;
+  Topology.Builder.build b
+
+let agreement truth verdicts =
+  if verdicts = [] then 0.
+  else begin
+    let correct = ref 0 in
+    List.iter
+      (fun v ->
+        let ok =
+          match v with
+          | P2c (p, c) -> begin
+            match
+              (Topology.vertex_of_asn truth p, Topology.vertex_of_asn truth c)
+            with
+            | Some vp, Some vc ->
+              Topology.rel truth vp vc = Some Relationship.Customer
+            | _ -> false
+          end
+          | P2p (x, y) | Sib (x, y) -> begin
+            let want : Relationship.t =
+              match v with P2p _ -> Peer | _ -> Sibling
+            in
+            match
+              (Topology.vertex_of_asn truth x, Topology.vertex_of_asn truth y)
+            with
+            | Some vx, Some vy -> Topology.rel truth vx vy = Some want
+            | _ -> false
+          end
+        in
+        if ok then incr correct)
+      verdicts;
+    float_of_int !correct /. float_of_int (List.length verdicts)
+  end

@@ -1,0 +1,42 @@
+(** Gao's AS-relationship inference algorithm (L. Gao, "On Inferring
+    Autonomous System Relationships in the Internet", IEEE/ACM ToN 2001).
+
+    The paper infers the AS relationships underlying its RouteViews graph
+    with this algorithm; we implement the three-phase heuristic so a user
+    can feed raw AS-path data (e.g. from routing table dumps) and obtain a
+    relationship-annotated {!Topology.t}.
+
+    Input paths are lists of external AS numbers in route order (first
+    element closest to the vantage point, last element the origin).
+    Consecutive duplicate ASes (path prepending) are collapsed. *)
+
+type verdict =
+  | P2c of int * int  (** [(provider, customer)] *)
+  | P2p of int * int  (** peers, smaller AS number first *)
+  | Sib of int * int  (** siblings, smaller AS number first *)
+
+val infer : ?peer_degree_ratio:float -> int list list -> verdict list
+(** Run the three phases on the given AS paths:
+    + compute AS degrees and, per path, locate the top provider (highest
+      degree AS); edges before it vote customer→provider, edges after it
+      provider→customer;
+    + edges that appear away from a path's top can never be peer links
+      (valley-freeness allows at most one peer link, at the top); of the
+      two top-adjacent edges, the one towards the higher-degree neighbour
+      is marked as a peer candidate;
+    + a candidate becomes a peer link when its endpoint degrees differ by
+      less than [peer_degree_ratio] (default 60.) and its transit votes are
+      balanced; otherwise balanced two-way transit votes yield a sibling
+      and the dominant vote direction yields customer→provider.
+
+    Edges with no evidence are classified customer→provider toward the
+    higher-degree AS (or peer when degrees are close). The output covers
+    every adjacent AS pair seen in the input exactly once. *)
+
+val to_topology : verdict list -> Topology.t
+(** Build a topology from inference verdicts. *)
+
+val agreement : Topology.t -> verdict list -> float
+(** Fraction of verdicts that match the relationships of the given
+    ground-truth topology (links absent from the ground truth count as
+    mismatches). Used to validate the inference on planted topologies. *)

@@ -1,0 +1,26 @@
+type t = Customer | Provider | Peer | Sibling
+
+let invert = function
+  | Customer -> Provider
+  | Provider -> Customer
+  | Peer -> Peer
+  | Sibling -> Sibling
+
+let equal a b =
+  match (a, b) with
+  | Customer, Customer | Provider, Provider | Peer, Peer | Sibling, Sibling ->
+    true
+  | (Customer | Provider | Peer | Sibling), _ -> false
+
+let to_string = function
+  | Customer -> "customer"
+  | Provider -> "provider"
+  | Peer -> "peer"
+  | Sibling -> "sibling"
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+let local_pref = function
+  | Customer | Sibling -> 100
+  | Peer -> 90
+  | Provider -> 80

@@ -1,0 +1,30 @@
+(** Business relationships between neighbouring ASes.
+
+    Following Gao [2001] and the paper, neighbouring ASes engage in bilateral
+    agreements that constrain routing policies. The two relevant kinds are
+    customer–provider and peer–peer; we also recognise sibling links when
+    inferring relationships from data, although the generator never produces
+    them. *)
+
+type t =
+  | Customer  (** the neighbour is my customer *)
+  | Provider  (** the neighbour is my provider *)
+  | Peer  (** the neighbour is my peer *)
+  | Sibling  (** mutual transit (only produced by inference on real data) *)
+
+val invert : t -> t
+(** Relationship as seen from the other side of the link:
+    [invert Customer = Provider], [invert Peer = Peer], etc. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val local_pref : t -> int
+(** The conventional route preference induced by the relationship of the
+    neighbour a route was learned from: customer routes (100) are preferred
+    over peer routes (90) over provider routes (80). Sibling routes rank
+    with customer routes. Used by every protocol engine in this repository,
+    implementing the "prefer-customer" policy of the paper. *)

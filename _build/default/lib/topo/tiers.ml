@@ -1,0 +1,60 @@
+let classify t =
+  let n = Topology.num_vertices t in
+  let tier = Array.make n max_int in
+  let queue = Queue.create () in
+  Array.iter
+    (fun v ->
+      tier.(v) <- 0;
+      Queue.add v queue)
+    (Topology.tier1s t);
+  (* BFS down provider→customer links: a customer's tier is one more than
+     its best (lowest-tier) provider. *)
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun c ->
+        if tier.(c) > tier.(v) + 1 then begin
+          tier.(c) <- tier.(v) + 1;
+          Queue.add c queue
+        end)
+      (Topology.customers t v)
+  done;
+  tier
+
+let customer_cone_size t v =
+  let n = Topology.num_vertices t in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  visited.(v) <- true;
+  Queue.add v queue;
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    incr count;
+    Array.iter
+      (fun c ->
+        if not visited.(c) then begin
+          visited.(c) <- true;
+          Queue.add c queue
+        end)
+      (Topology.customers t u)
+  done;
+  !count
+
+let uphill_reachable t v =
+  let n = Topology.num_vertices t in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  visited.(v) <- true;
+  Queue.add v queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun p ->
+        if not visited.(p) then begin
+          visited.(p) <- true;
+          Queue.add p queue
+        end)
+      (Topology.providers t u)
+  done;
+  visited

@@ -1,0 +1,16 @@
+(** Tier classification and customer cones over the provider hierarchy. *)
+
+val classify : Topology.t -> int array
+(** [classify t] assigns each vertex its tier: 0 for tier-1 ASes (no
+    providers), otherwise [1 + min (tier of providers)]. Indexed by
+    vertex. *)
+
+val customer_cone_size : Topology.t -> Topology.vertex -> int
+(** Number of ASes reachable from a vertex by walking provider→customer
+    links only, including the vertex itself — the set of destinations the
+    AS can reach through customer routes. *)
+
+val uphill_reachable : Topology.t -> Topology.vertex -> bool array
+(** [uphill_reachable t v] marks every vertex reachable from [v] by walking
+    customer→provider links only (including [v]) — the candidates for the
+    uphill portion of [v]'s paths. *)

@@ -1,0 +1,160 @@
+type params = {
+  n : int;
+  n_tier1 : int;
+  mid_fraction : float;
+  stub_extra_provider_prob : float;
+  mid_extra_provider_prob : float;
+  max_providers : int;
+  peers_per_mid : float;
+  seed : int;
+}
+
+let default_params ?(seed = 42) ~n () =
+  {
+    n;
+    n_tier1 = min 10 (max 1 (n / 20));
+    mid_fraction = 0.15;
+    stub_extra_provider_prob = 0.45;
+    mid_extra_provider_prob = 0.5;
+    max_providers = 6;
+    peers_per_mid = 2.0;
+    seed;
+  }
+
+let validate p =
+  if p.n < p.n_tier1 + 2 then invalid_arg "Topo_gen: n too small for n_tier1";
+  if p.n_tier1 < 1 then invalid_arg "Topo_gen: n_tier1 < 1";
+  if p.mid_fraction < 0. || p.mid_fraction > 1. then
+    invalid_arg "Topo_gen: mid_fraction out of [0,1]";
+  if
+    p.stub_extra_provider_prob < 0.
+    || p.stub_extra_provider_prob >= 1.
+    || p.mid_extra_provider_prob < 0.
+    || p.mid_extra_provider_prob >= 1.
+  then invalid_arg "Topo_gen: extra-provider probabilities must be in [0,1)";
+  if p.max_providers < 1 then invalid_arg "Topo_gen: max_providers < 1";
+  if p.peers_per_mid < 0. then invalid_arg "Topo_gen: peers_per_mid < 0"
+
+(* Number of providers: [base] plus a geometric tail with parameter [q],
+   capped. *)
+let draw_provider_count st ~base ~q ~cap =
+  let rec loop k = if k >= cap || Random.State.float st 1. >= q then k else loop (k + 1) in
+  loop base
+
+(* Weighted choice of [k] distinct provider ASNs among candidates, with
+   weight (customer count + 1) — preferential attachment. [customer_count]
+   is indexed by ASN. *)
+let choose_providers st ~k ~candidates ~customer_count =
+  let chosen = Hashtbl.create 8 in
+  let total_weight () =
+    Array.fold_left
+      (fun acc asn ->
+        if Hashtbl.mem chosen asn then acc
+        else acc +. float_of_int (customer_count.(asn) + 1))
+      0. candidates
+  in
+  let pick () =
+    let total = total_weight () in
+    if total <= 0. then None
+    else begin
+      let r = Random.State.float st total in
+      let acc = ref 0. in
+      let found = ref None in
+      (try
+         Array.iter
+           (fun asn ->
+             if not (Hashtbl.mem chosen asn) then begin
+               acc := !acc +. float_of_int (customer_count.(asn) + 1);
+               if r < !acc then begin
+                 found := Some asn;
+                 raise Exit
+               end
+             end)
+           candidates
+       with Exit -> ());
+      (* numeric slack: fall back to the last unchosen candidate *)
+      match !found with
+      | Some _ as s -> s
+      | None ->
+        Array.fold_left
+          (fun acc asn -> if Hashtbl.mem chosen asn then acc else Some asn)
+          None candidates
+    end
+  in
+  let rec loop i acc =
+    if i = 0 then acc
+    else
+      match pick () with
+      | None -> acc
+      | Some asn ->
+        Hashtbl.replace chosen asn ();
+        loop (i - 1) (asn :: acc)
+  in
+  loop k []
+
+let generate p =
+  validate p;
+  let st = Random.State.make [| p.seed |] in
+  let b = Topology.Builder.create () in
+  let n_non_t1 = p.n - p.n_tier1 in
+  let n_mid =
+    min (n_non_t1 - 1)
+      (max 1 (int_of_float (Float.round (float_of_int n_non_t1 *. p.mid_fraction))))
+  in
+  let n_stub = n_non_t1 - n_mid in
+  (* ASNs: tier-1 = 1..n_tier1, mid = n_tier1+1 .. n_tier1+n_mid, stubs after. *)
+  let t1_lo = 1 and t1_hi = p.n_tier1 in
+  let mid_lo = t1_hi + 1 and mid_hi = t1_hi + n_mid in
+  let customer_count = Array.make (p.n + 1) 0 in
+  (* Tier-1 clique: full mesh of peer links. *)
+  for a = t1_lo to t1_hi do
+    for a' = a + 1 to t1_hi do
+      Topology.Builder.add_p2p b a a'
+    done
+  done;
+  (* Special case: a single tier-1 has no links yet; attach it when its
+     first customer arrives (below, candidates always include it). *)
+  let attach asn ~candidates ~base ~q =
+    let k = draw_provider_count st ~base ~q ~cap:p.max_providers in
+    let provs = choose_providers st ~k ~candidates ~customer_count in
+    List.iter
+      (fun prov ->
+        Topology.Builder.add_p2c b ~provider:prov ~customer:asn;
+        customer_count.(prov) <- customer_count.(prov) + 1)
+      provs
+  in
+  (* Mid-tier ASes: providers among tier-1s and earlier mid ASes. *)
+  for asn = mid_lo to mid_hi do
+    let candidates =
+      Array.init (asn - 1) (fun i -> i + 1)
+      (* all ASNs < asn are tier-1 or earlier mid: transit-capable *)
+    in
+    attach asn ~candidates ~base:2 ~q:p.mid_extra_provider_prob
+  done;
+  (* Lateral peering among mid-tier ASes. *)
+  if n_mid >= 2 && p.peers_per_mid > 0. then begin
+    let n_peer_links =
+      int_of_float (Float.round (float_of_int n_mid *. p.peers_per_mid /. 2.))
+    in
+    let attempts = ref 0 in
+    let added = ref 0 in
+    while !added < n_peer_links && !attempts < n_peer_links * 20 do
+      incr attempts;
+      let a = mid_lo + Random.State.int st n_mid in
+      let a' = mid_lo + Random.State.int st n_mid in
+      if a <> a' then
+        (* skip pairs already linked (provider or peer) *)
+        try
+          Topology.Builder.add_p2p b a a';
+          incr added
+        with Invalid_argument _ -> ()
+    done
+  end;
+  (* Stub ASes: providers among all transit ASes (tier-1 + mid). *)
+  let transit_candidates = Array.init mid_hi (fun i -> i + 1) in
+  for asn = mid_hi + 1 to p.n do
+    attach asn ~candidates:transit_candidates ~base:1
+      ~q:p.stub_extra_provider_prob
+  done;
+  ignore n_stub;
+  Topology.Builder.build b

@@ -1,0 +1,45 @@
+(** Synthetic Internet-like AS topology generator.
+
+    Substitute for the paper's RouteViews-derived AS graph (see DESIGN.md
+    §4). The generator reproduces the structural properties the paper's
+    results depend on:
+
+    - a fully meshed tier-1 clique (peer links);
+    - an acyclic provider hierarchy (every AS picks its providers among
+      ASes created earlier — the Gao–Rexford safety precondition);
+    - preferential attachment, yielding a heavy-tailed customer-degree
+      distribution as observed in the real AS graph;
+    - tunable multi-homing (how many providers stubs and mid-tier ASes
+      have) and peering density.
+
+    The output is guaranteed connected, acyclic in its provider DAG, and
+    such that every AS has an uphill path to a tier-1 AS. *)
+
+type params = {
+  n : int;  (** total number of ASes (>= n_tier1 + 2) *)
+  n_tier1 : int;  (** size of the tier-1 clique (>= 1) *)
+  mid_fraction : float;
+      (** fraction of non-tier-1 ASes that are mid-tier transit providers,
+          in [[0., 1.]] *)
+  stub_extra_provider_prob : float;
+      (** probability that a stub takes each additional provider beyond the
+          first (geometric tail), in [[0., 1.)] *)
+  mid_extra_provider_prob : float;
+      (** same for mid-tier ASes, which start at two providers *)
+  max_providers : int;  (** hard cap on providers per AS *)
+  peers_per_mid : float;
+      (** expected number of lateral peer links attached to each mid-tier
+          AS *)
+  seed : int;  (** RNG seed; same params + seed => identical topology *)
+}
+
+val default_params : ?seed:int -> n:int -> unit -> params
+(** Reasonable Internet-like defaults for a topology of [n] ASes:
+    10 tier-1 ASes (or fewer for tiny graphs), 15 % mid-tier,
+    stubs with 1–4 providers (60 % multi-homed), mid-tier with 2–6
+    providers, two peer links per mid-tier AS on average. *)
+
+val generate : params -> Topology.t
+(** Generate a topology. External AS numbers are [1..n]; tier-1 ASes get
+    the smallest numbers.
+    @raise Invalid_argument on inconsistent parameters. *)

@@ -1,0 +1,109 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let lines_of content =
+  String.split_on_char '\n' content
+  |> List.mapi (fun i l -> (i + 1, String.trim (strip_comment l)))
+  |> List.filter (fun (_, l) -> l <> "")
+
+let parse_relationships content =
+  let b = Topology.Builder.create () in
+  List.iter
+    (fun (lineno, line) ->
+      match String.split_on_char '|' line with
+      | [ a; a'; code ] -> begin
+        let parse_asn s =
+          match int_of_string_opt (String.trim s) with
+          | Some n when n > 0 -> n
+          | _ ->
+            invalid_arg
+              (Printf.sprintf "Topo_io: bad AS number %S on line %d" s lineno)
+        in
+        let a = parse_asn a and a' = parse_asn a' in
+        match String.trim code with
+        | "-1" -> Topology.Builder.add_p2c b ~provider:a ~customer:a'
+        | "0" -> Topology.Builder.add_p2p b a a'
+        | "2" -> Topology.Builder.add_sibling b a a'
+        | c ->
+          invalid_arg
+            (Printf.sprintf "Topo_io: unknown relationship code %S on line %d"
+               c lineno)
+      end
+      | _ ->
+        invalid_arg
+          (Printf.sprintf "Topo_io: malformed relationship line %d" lineno))
+    (lines_of content);
+  Topology.Builder.build b
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_relationships path = parse_relationships (read_file path)
+
+let relationships_to_string t =
+  let buf = Buffer.create 4096 in
+  let n = Topology.num_vertices t in
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun (v, r) ->
+        (* emit each undirected link once, from the side that gives a
+           canonical direction *)
+        match (r : Relationship.t) with
+        | Customer ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d|%d|-1\n" (Topology.asn t u) (Topology.asn t v))
+        | Peer ->
+          if u < v then
+            Buffer.add_string buf
+              (Printf.sprintf "%d|%d|0\n" (Topology.asn t u) (Topology.asn t v))
+        | Sibling ->
+          if u < v then
+            Buffer.add_string buf
+              (Printf.sprintf "%d|%d|2\n" (Topology.asn t u) (Topology.asn t v))
+        | Provider -> ())
+      (Topology.neighbors t u)
+  done;
+  Buffer.contents buf
+
+let save_relationships t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (relationships_to_string t))
+
+let parse_paths content =
+  List.map
+    (fun (lineno, line) ->
+      String.split_on_char ' ' line
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match int_of_string_opt s with
+             | Some n when n > 0 -> n
+             | _ ->
+               invalid_arg
+                 (Printf.sprintf "Topo_io: bad AS number %S on line %d" s
+                    lineno)))
+    (lines_of content)
+
+let load_paths path = parse_paths (read_file path)
+
+let paths_to_string paths =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun path ->
+      Buffer.add_string buf (String.concat " " (List.map string_of_int path));
+      Buffer.add_char buf '\n')
+    paths;
+  Buffer.contents buf
+
+let save_paths paths path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (paths_to_string paths))

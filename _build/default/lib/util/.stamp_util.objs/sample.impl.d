@@ -1,0 +1,1 @@
+lib/util/sample.ml: Array List Random

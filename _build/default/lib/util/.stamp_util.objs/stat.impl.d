@@ -1,0 +1,1 @@
+lib/util/stat.ml: Array Float Format List

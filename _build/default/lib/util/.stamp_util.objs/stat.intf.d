@@ -1,0 +1,1 @@
+lib/util/stat.mli: Format

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Cdf Experiment Fwd_walk Lazy List Printf Random Relationship Runner Scenario Sim Tiers Topo_gen Topology Transient

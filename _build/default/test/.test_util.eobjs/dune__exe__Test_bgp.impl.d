@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Array Bgp_net Decision Export Fwd_walk List Mrai Option Printf QCheck2 Random Relationship Route Sim Static_route Test_support Topo_gen Topology

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Array Bgp_net Fleet Float Int32 Lazy List Lpm Option Prefix QCheck2 Random Static_route Test_support Topo_gen Topology Traffic Valley Vantage

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Array Bgp_net Fwd_walk Hybrid_net Printf QCheck2 Random Route Runner Scenario Sim Static_route Test_support Tiers Topo_gen Topology

@@ -1,0 +1,1 @@
+test/test_lemmas.ml: Alcotest Array Bgp_net Coloring Fwd_walk QCheck2 Random Rbgp_net Scenario Sim Stamp_net Test_support Topo_gen Topology

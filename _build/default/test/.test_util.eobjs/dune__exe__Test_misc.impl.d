@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Astring Channel Coloring Experiment Format Fwd_walk List Mrai Printf Random Relationship Report Route Runner Scenario Sim Stamp_net Test_support Topo_gen Topology

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Array Bgp_net Coloring Fun Fwd_walk List Printf QCheck2 Random Relationship Runner Scenario Sim Stamp_net Static_route Test_support Topo_gen Topology

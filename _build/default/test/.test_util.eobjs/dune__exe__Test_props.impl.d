@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Decision Event_heap Export Format Int32 List Prefix Printf QCheck2 Random Relationship Route Static_route Test_support Topo_gen Topology Valley

@@ -1,0 +1,1 @@
+test/test_rbgp.ml: Alcotest Array Bgp_net Fwd_walk List Printf QCheck2 Random Rbgp_net Route Runner Scenario Sim Static_route Test_support Topo_gen Topology

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Disjoint List QCheck2 Random Relationship Static_route Test_support Topo_gen Topology Valley

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Channel Event_heap Float Fun List Option Printf QCheck2 Random Sim Test_support

@@ -1,0 +1,1 @@
+test/test_stamp.ml: Alcotest Array Bgp_net Color Coloring Float Fwd_walk List Phi Printf QCheck2 Random Relationship Route Runner Scenario Sim Stamp_net Test_support Topo_gen Topology Valley

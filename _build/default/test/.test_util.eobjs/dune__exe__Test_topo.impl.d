@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Astring Gao_inference List Printf Random Relationship Static_route Test_support Tiers Topo_gen Topo_io Topology Valley

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cdf Float Fun List QCheck2 Random Sample Stat Test_support

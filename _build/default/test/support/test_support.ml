@@ -1,0 +1,92 @@
+(* Shared fixtures and generators for the test suites. *)
+
+(* A hand-built mini-Internet used across suites:
+
+        10 ----peer---- 20        (tier-1 clique)
+        |               |
+        1               2         (mid-tier)
+         \             /
+          \           /
+               3                  (multi-homed stub)
+
+   10 is provider of 1, 20 of 2; 1 and 2 are providers of 3. *)
+let diamond () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.add_p2p b 10 20;
+  Topology.Builder.add_p2c b ~provider:10 ~customer:1;
+  Topology.Builder.add_p2c b ~provider:20 ~customer:2;
+  Topology.Builder.add_p2c b ~provider:1 ~customer:3;
+  Topology.Builder.add_p2c b ~provider:2 ~customer:3;
+  Topology.Builder.build b
+
+(* Same as diamond but with an extra lateral peer link 1--2, which creates
+   peer routes, and a single-homed stub 4 under 3. *)
+let diamond_plus () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.add_p2p b 10 20;
+  Topology.Builder.add_p2c b ~provider:10 ~customer:1;
+  Topology.Builder.add_p2c b ~provider:20 ~customer:2;
+  Topology.Builder.add_p2c b ~provider:1 ~customer:3;
+  Topology.Builder.add_p2c b ~provider:2 ~customer:3;
+  Topology.Builder.add_p2p b 1 2;
+  Topology.Builder.add_p2c b ~provider:3 ~customer:4;
+  Topology.Builder.build b
+
+(* A provider chain 1 <- 2 <- ... <- n (1 is the single tier-1). *)
+let chain n =
+  let b = Topology.Builder.create () in
+  for i = 1 to n - 1 do
+    Topology.Builder.add_p2c b ~provider:i ~customer:(i + 1)
+  done;
+  Topology.Builder.build b
+
+let vtx topo asn =
+  match Topology.vertex_of_asn topo asn with
+  | Some v -> v
+  | None -> Alcotest.failf "ASN %d not in topology" asn
+
+let asns_of_path topo path = List.map (Topology.asn topo) path
+
+(* Random topologies for property tests: small enough for exhaustive
+   cross-checks, structurally diverse. *)
+let gen_params =
+  QCheck2.Gen.(
+    let* n = int_range 15 70 in
+    let* n_tier1 = int_range 1 4 in
+    let* mid_fraction = float_range 0.05 0.5 in
+    let* stub_q = float_range 0.0 0.7 in
+    let* mid_q = float_range 0.0 0.7 in
+    let* peers = float_range 0.0 3.0 in
+    let* seed = int_range 0 1_000_000 in
+    return
+      {
+        Topo_gen.n;
+        n_tier1;
+        mid_fraction;
+        stub_extra_provider_prob = stub_q;
+        mid_extra_provider_prob = mid_q;
+        max_providers = 5;
+        peers_per_mid = peers;
+        seed;
+      })
+
+let gen_topology = QCheck2.Gen.map Topo_gen.generate gen_params
+
+let print_params (p : Topo_gen.params) =
+  Printf.sprintf
+    "{n=%d; t1=%d; mid=%.2f; stub_q=%.2f; mid_q=%.2f; peers=%.2f; seed=%d}"
+    p.n p.n_tier1 p.mid_fraction p.stub_extra_provider_prob
+    p.mid_extra_provider_prob p.peers_per_mid p.seed
+
+(* Run a freshly created network to convergence and return it. *)
+let converge_bgp ?(seed = 7) topo ~dest =
+  let sim = Sim.create ~seed () in
+  let net = Bgp_net.create sim topo ~dest () in
+  Bgp_net.start net;
+  Sim.run sim;
+  (sim, net)
+
+(* Alcotest/QCheck glue: register a QCheck2 property as an alcotest case. *)
+let qtest ?(count = 50) name gen print prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print gen prop)

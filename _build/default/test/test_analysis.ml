@@ -1,0 +1,232 @@
+(* Tests for the analysis layer: the transient monitor, scenario
+   generators, the runner and the figure-level experiments. *)
+
+(* --- Transient monitor -------------------------------------------------- *)
+
+(* Drive the monitor with a scripted probe: AS 1 is broken for the first
+   two checkpoints then recovers; AS 2 is broken forever. *)
+let test_transient_counting () =
+  let sim = Sim.create () in
+  (* schedule a few spaced events so the monitor takes checkpoints *)
+  for i = 1 to 5 do
+    Sim.schedule sim ~delay:(0.03 *. float_of_int i) (fun _ -> ())
+  done;
+  let calls = ref 0 in
+  let probe () =
+    incr calls;
+    let broken1 = !calls <= 2 in
+    [|
+      Fwd_walk.Delivered;
+      (if broken1 then Fwd_walk.Blackholed else Fwd_walk.Delivered);
+      Fwd_walk.Looped;
+    |]
+  in
+  let o = Transient.run sim ~interval:0.02 ~probe () in
+  Alcotest.(check int) "one transient AS" 1 (Transient.transient_count o);
+  Alcotest.(check bool) "AS1 transient" true o.Transient.transient.(1);
+  Alcotest.(check bool) "AS2 permanent, not transient" false
+    o.Transient.transient.(2);
+  Alcotest.(check bool) "AS0 fine" false o.Transient.transient.(0)
+
+let test_transient_none () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:0.01 (fun _ -> ());
+  let probe () = [| Fwd_walk.Delivered; Fwd_walk.Delivered |] in
+  let o = Transient.run sim ~probe () in
+  Alcotest.(check int) "none" 0 (Transient.transient_count o)
+
+let test_transient_event_budget () =
+  let sim = Sim.create () in
+  (* an event that reschedules itself forever *)
+  let rec tick s = Sim.schedule s ~delay:0.001 tick in
+  tick sim;
+  let probe () = [| Fwd_walk.Delivered |] in
+  Alcotest.check_raises "budget"
+    (Failure "Transient.run: event budget exceeded (non-convergence?)")
+    (fun () -> ignore (Transient.run sim ~max_events:100 ~probe ()))
+
+(* --- Scenario generators ------------------------------------------------ *)
+
+let topo200 = lazy (Topo_gen.generate (Topo_gen.default_params ~n:200 ()))
+
+let test_single_link_shape () =
+  let t = Lazy.force topo200 in
+  let st = Random.State.make [| 1 |] in
+  for _ = 1 to 50 do
+    match Scenario.single_link st t with
+    | { Scenario.dest; events = [ Scenario.Fail_link (u, v) ] } ->
+      Alcotest.(check bool) "dest multi-homed" true (Topology.is_multi_homed t dest);
+      Alcotest.(check int) "link starts at dest" dest u;
+      Alcotest.(check bool) "fails a provider link" true
+        (Topology.rel t u v = Some Relationship.Provider)
+    | _ -> Alcotest.fail "unexpected shape"
+  done
+
+let test_two_links_apart_shape () =
+  let t = Lazy.force topo200 in
+  let st = Random.State.make [| 2 |] in
+  for _ = 1 to 50 do
+    match Scenario.two_links_apart st t with
+    | {
+     Scenario.dest;
+     events = [ Scenario.Fail_link (u1, v1); Scenario.Fail_link (u2, v2) ];
+    } ->
+      Alcotest.(check int) "first link at dest" dest u1;
+      (* the two failed links share no AS *)
+      let shared =
+        List.exists (fun x -> x = u1 || x = v1) [ u2; v2 ]
+      in
+      Alcotest.(check bool) "links disjoint" false shared;
+      Alcotest.(check bool) "second is a provider link" true
+        (Topology.rel t u2 v2 = Some Relationship.Provider);
+      (* second link lies in the destination's uphill cone *)
+      let cone = Tiers.uphill_reachable t dest in
+      Alcotest.(check bool) "second in cone" true cone.(u2)
+    | _ -> Alcotest.fail "unexpected shape"
+  done
+
+let test_two_links_shared_shape () =
+  let t = Lazy.force topo200 in
+  let st = Random.State.make [| 3 |] in
+  for _ = 1 to 50 do
+    match Scenario.two_links_shared st t with
+    | {
+     Scenario.dest;
+     events = [ Scenario.Fail_link (u1, v1); Scenario.Fail_link (u2, v2) ];
+    } ->
+      Alcotest.(check int) "first at dest" dest u1;
+      Alcotest.(check int) "shared AS" v1 u2;
+      Alcotest.(check bool) "second is provider link of the provider" true
+        (Topology.rel t u2 v2 = Some Relationship.Provider)
+    | _ -> Alcotest.fail "unexpected shape"
+  done
+
+let test_node_failure_shape () =
+  let t = Lazy.force topo200 in
+  let st = Random.State.make [| 4 |] in
+  match Scenario.node_failure st t with
+  | { Scenario.dest; events = [ Scenario.Fail_node p ] } ->
+    Alcotest.(check bool) "fails a provider of dest" true
+      (Topology.rel t dest p = Some Relationship.Provider)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_scenario_deterministic () =
+  let t = Lazy.force topo200 in
+  let gen seed =
+    let st = Random.State.make [| seed |] in
+    List.init 5 (fun _ -> Scenario.single_link st t)
+  in
+  Alcotest.(check bool) "same" true (gen 7 = gen 7);
+  Alcotest.(check bool) "different" true (gen 7 <> gen 8)
+
+(* --- Runner -------------------------------------------------------------- *)
+
+let test_runner_deterministic () =
+  let t = Lazy.force topo200 in
+  let st = Random.State.make [| 5 |] in
+  let spec = Scenario.single_link st t in
+  let r1 = Runner.run ~seed:3 Runner.Bgp t spec in
+  let r2 = Runner.run ~seed:3 Runner.Bgp t spec in
+  Alcotest.(check bool) "identical" true (r1 = r2)
+
+let test_runner_all_protocols_complete () =
+  let t = Lazy.force topo200 in
+  let st = Random.State.make [| 6 |] in
+  let spec = Scenario.single_link st t in
+  List.iter
+    (fun proto ->
+      let r = Runner.run proto t spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: no permanent loss" (Runner.protocol_name proto))
+        true
+        (r.Runner.broken_after = 0);
+      Alcotest.(check bool) "messages counted" true (r.Runner.messages_initial > 0))
+    Runner.all_protocols
+
+let test_runner_node_failure_completes () =
+  let t = Lazy.force topo200 in
+  let st = Random.State.make [| 8 |] in
+  let spec = Scenario.node_failure st t in
+  List.iter
+    (fun proto -> ignore (Runner.run proto t spec))
+    Runner.all_protocols
+
+(* --- Experiments ---------------------------------------------------------- *)
+
+let test_fig1_fields_consistent () =
+  let t = Topo_gen.generate (Topo_gen.default_params ~n:120 ()) in
+  let f = Experiment.fig1 ~samples:30 ~intelligent_samples:10 t in
+  Alcotest.(check bool) "mean in [0,1]" true
+    (f.Experiment.mean_random >= 0. && f.Experiment.mean_random <= 1.);
+  Alcotest.(check bool) "intelligent >= random - noise" true
+    (f.Experiment.mean_intelligent >= f.Experiment.mean_random -. 0.1);
+  Alcotest.(check bool) "fractions consistent" true
+    (f.Experiment.frac_below_07 >= 0.
+    && f.Experiment.frac_above_09 >= 0.
+    && f.Experiment.frac_below_07 +. f.Experiment.frac_above_09 <= 1.);
+  Alcotest.(check int) "cdf covers all destinations"
+    (Topology.num_vertices t)
+    (Cdf.size f.Experiment.cdf)
+
+let test_failure_bars_ordering () =
+  (* the paper's qualitative ordering on the single-link workload:
+     BGP worst, R-BGP with RCI at zero, STAMP far below BGP *)
+  let t = Topo_gen.generate (Topo_gen.default_params ~n:200 ()) in
+  let bars =
+    Experiment.failure_bars ~instances:6 ~scenario:Scenario.single_link t
+  in
+  let get p = List.assoc p bars in
+  Alcotest.(check bool) "bgp >= norci" true
+    (get Runner.Bgp >= get Runner.Rbgp_no_rci);
+  Alcotest.(check (float 1e-9)) "rbgp with rci = 0" 0. (get Runner.Rbgp);
+  Alcotest.(check bool) "stamp <= bgp" true (get Runner.Stamp <= get Runner.Bgp)
+
+let test_overhead_and_delay () =
+  let t = Topo_gen.generate (Topo_gen.default_params ~n:150 ()) in
+  let rows = Experiment.overhead_and_delay ~instances:4 t in
+  Alcotest.(check int) "four protocols" 4 (List.length rows);
+  let find p =
+    List.find (fun r -> r.Experiment.protocol = p) rows
+  in
+  let bgp = find Runner.Bgp and stamp = find Runner.Stamp in
+  Alcotest.(check bool) "stamp < 2x bgp messages (Section 6.3)" true
+    (stamp.Experiment.avg_messages_initial
+    < 2. *. bgp.Experiment.avg_messages_initial);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "delay non-negative" true
+        (r.Experiment.avg_delay >= 0.))
+    rows
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "transient",
+        [
+          Alcotest.test_case "counting" `Quick test_transient_counting;
+          Alcotest.test_case "none" `Quick test_transient_none;
+          Alcotest.test_case "event budget" `Quick test_transient_event_budget;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "single link" `Quick test_single_link_shape;
+          Alcotest.test_case "two apart" `Quick test_two_links_apart_shape;
+          Alcotest.test_case "two shared" `Quick test_two_links_shared_shape;
+          Alcotest.test_case "node failure" `Quick test_node_failure_shape;
+          Alcotest.test_case "deterministic" `Quick test_scenario_deterministic;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "all protocols" `Quick
+            test_runner_all_protocols_complete;
+          Alcotest.test_case "node failure" `Quick
+            test_runner_node_failure_completes;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "fig1 fields" `Quick test_fig1_fields_consistent;
+          Alcotest.test_case "bars ordering" `Quick test_failure_bars_ordering;
+          Alcotest.test_case "overhead and delay" `Quick test_overhead_and_delay;
+        ] );
+    ]

@@ -1,0 +1,253 @@
+(* Edge cases and smaller components: generator validation, printers,
+   Mrai bookkeeping, Sim stepping, and cross-cutting smoke tests. *)
+
+let vtx = Test_support.vtx
+
+(* --- Topo_gen parameter validation ----------------------------------- *)
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_gen_validation () =
+  let base = Topo_gen.default_params ~n:50 () in
+  expect_invalid "n too small" (fun () ->
+      Topo_gen.generate { base with Topo_gen.n = 2; n_tier1 = 5 });
+  expect_invalid "tier1 zero" (fun () ->
+      Topo_gen.generate { base with Topo_gen.n_tier1 = 0 });
+  expect_invalid "mid fraction" (fun () ->
+      Topo_gen.generate { base with Topo_gen.mid_fraction = 1.5 });
+  expect_invalid "stub prob" (fun () ->
+      Topo_gen.generate { base with Topo_gen.stub_extra_provider_prob = 1.0 });
+  expect_invalid "max providers" (fun () ->
+      Topo_gen.generate { base with Topo_gen.max_providers = 0 });
+  expect_invalid "peers negative" (fun () ->
+      Topo_gen.generate { base with Topo_gen.peers_per_mid = -1. })
+
+let test_gen_tiny () =
+  (* smallest legal configurations still satisfy the invariants *)
+  List.iter
+    (fun (n, t1) ->
+      let t =
+        Topo_gen.generate
+          { (Topo_gen.default_params ~n ()) with Topo_gen.n_tier1 = t1 }
+      in
+      Alcotest.(check int) "size" n (Topology.num_vertices t);
+      Alcotest.(check bool) "connected" true (Topology.is_connected t);
+      Alcotest.(check bool) "acyclic" true (Topology.provider_dag_is_acyclic t))
+    [ (3, 1); (4, 2); (10, 1); (12, 10) ]
+
+(* --- printers ----------------------------------------------------------- *)
+
+let render pp v = Format.asprintf "%a" pp v
+
+let test_route_pp () =
+  let r = { Route.as_path = [ 1; 2; 3 ]; cls = Relationship.Peer } in
+  Alcotest.(check string) "route" "[1 2 3] via peer" (render Route.pp r)
+
+let test_relationship_pp () =
+  List.iter
+    (fun (r, s) -> Alcotest.(check string) s s (render Relationship.pp r))
+    [
+      (Relationship.Customer, "customer");
+      (Relationship.Provider, "provider");
+      (Relationship.Peer, "peer");
+      (Relationship.Sibling, "sibling");
+    ]
+
+let test_scenario_pp () =
+  let t = Test_support.diamond () in
+  let spec =
+    {
+      Scenario.dest = vtx t 3;
+      events =
+        [
+          Scenario.Fail_link (vtx t 3, vtx t 1);
+          Scenario.Fail_node (vtx t 2);
+          Scenario.Deny_export (vtx t 3, vtx t 2);
+        ];
+    }
+  in
+  Alcotest.(check string) "spec" "dest=3 fail=[link 3-1; node 2; policy 3-x->2]"
+    (render (Scenario.pp_spec t) spec)
+
+let test_topology_pp_stats () =
+  let s = render Topology.pp_stats (Test_support.diamond ()) in
+  Alcotest.(check bool) "mentions ASes" true
+    (Astring.String.is_infix ~affix:"ASes=5" s);
+  Alcotest.(check bool) "mentions tier1" true
+    (Astring.String.is_infix ~affix:"tier1=2" s)
+
+let test_fwd_status_pp () =
+  List.iter
+    (fun (st, s) -> Alcotest.(check string) s s (render Fwd_walk.pp_status st))
+    [
+      (Fwd_walk.Delivered, "delivered");
+      (Fwd_walk.Looped, "looped");
+      (Fwd_walk.Blackholed, "blackholed");
+    ]
+
+let test_report_printers_smoke () =
+  (* the report printers must render without raising on real results *)
+  let t = Topo_gen.generate (Topo_gen.default_params ~n:60 ()) in
+  let f1 = Experiment.fig1 ~samples:10 ~intelligent_samples:5 t in
+  let s = render Report.pp_fig1 f1 in
+  Alcotest.(check bool) "fig1 mentions paper" true
+    (Astring.String.is_infix ~affix:"paper" s);
+  let bars =
+    Experiment.failure_bars ~instances:2 ~scenario:Scenario.single_link t
+  in
+  let s = render (Report.pp_bars ~paper:Report.paper_fig2) bars in
+  Alcotest.(check bool) "bars mention BGP" true
+    (Astring.String.is_infix ~affix:"BGP" s);
+  let s = render Report.pp_bars_plain bars in
+  Alcotest.(check bool) "plain bars mention STAMP" true
+    (Astring.String.is_infix ~affix:"STAMP" s);
+  let rows = Experiment.overhead_and_delay ~instances:2 t in
+  let s = render Report.pp_overhead rows in
+  Alcotest.(check bool) "overhead mentions recover" true
+    (Astring.String.is_infix ~affix:"recover" s)
+
+(* --- Mrai flush bookkeeping ---------------------------------------------- *)
+
+let test_mrai_flush_flag () =
+  let st = Random.State.make [| 2 |] in
+  let m = Mrai.create st () in
+  Alcotest.(check bool) "initially unscheduled" false (Mrai.flush_scheduled m);
+  Mrai.set_flush_scheduled m true;
+  Alcotest.(check bool) "scheduled" true (Mrai.flush_scheduled m);
+  Mrai.set_flush_scheduled m false;
+  Alcotest.(check bool) "cleared" false (Mrai.flush_scheduled m)
+
+(* --- Sim stepping ----------------------------------------------------------- *)
+
+let test_sim_step () =
+  let sim = Sim.create () in
+  Alcotest.(check bool) "empty step" false (Sim.step sim);
+  Sim.schedule sim ~delay:1. (fun _ -> ());
+  Sim.schedule sim ~delay:2. (fun _ -> ());
+  Alcotest.(check bool) "step 1" true (Sim.step sim);
+  Alcotest.(check (float 1e-9)) "clock" 1. (Sim.now sim);
+  Alcotest.(check int) "pending" 1 (Sim.pending sim)
+
+let test_sim_run_advances_clock_without_events () =
+  let sim = Sim.create () in
+  Sim.run ~until:5. sim;
+  Alcotest.(check (float 1e-9)) "clock advanced" 5. (Sim.now sim);
+  (* but an unbounded run with an empty queue must not jump to infinity *)
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "still finite" 5. (Sim.now sim)
+
+let test_channel_bad_bounds () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "bad delays"
+    (Invalid_argument "Channel.create: bad delay bounds") (fun () ->
+      ignore (Channel.create sim ~delay_lo:0.02 ~delay_hi:0.01 ~deliver:ignore))
+
+(* --- instant-delivery property (Theorem 5.1 corollary) -------------------- *)
+
+let test_instant_delivery_when_fully_covered () =
+  (* whenever every AS holds both colours before a single provider-link
+     failure of the destination, the forwarding plane survives the failure
+     instant unharmed *)
+  let checked = ref 0 in
+  let seed = ref 0 in
+  while !checked < 5 && !seed < 25 do
+    incr seed;
+    let t = Topo_gen.generate (Topo_gen.default_params ~seed:!seed ~n:120 ()) in
+    let st = Random.State.make [| !seed |] in
+    let spec = Scenario.single_link st t in
+    let dest = spec.Scenario.dest in
+    let sim = Sim.create ~seed:!seed () in
+    let coloring = Coloring.create Coloring.Random_choice ~seed:!seed t ~dest in
+    let net = Stamp_net.create sim t ~dest ~coloring () in
+    Stamp_net.start net;
+    Sim.run sim;
+    let fully_covered =
+      Array.for_all (fun v -> Stamp_net.has_both net v) (Topology.vertices t)
+    in
+    if fully_covered then begin
+      incr checked;
+      List.iter
+        (function
+          | Scenario.Fail_link (u, v) -> Stamp_net.fail_link net u v
+          | Scenario.Fail_node _ | Scenario.Deny_export _ -> assert false)
+        spec.Scenario.events;
+      Array.iter
+        (fun s ->
+          Alcotest.(check bool) "instant delivery" true
+            (Fwd_walk.equal_status s Fwd_walk.Delivered))
+        (Stamp_net.walk_all net)
+    end
+  done;
+  Alcotest.(check bool) "found fully covered instances" true (!checked >= 5)
+
+(* --- Runner option plumbing -------------------------------------------------- *)
+
+let test_runner_detect_delay_increases_bgp_damage () =
+  let t = Topo_gen.generate (Topo_gen.default_params ~n:150 ()) in
+  let st = Random.State.make [| 2 |] in
+  let spec = Scenario.single_link st t in
+  let fast = Runner.run ~seed:1 Runner.Bgp t spec in
+  let slow = Runner.run ~seed:1 ~detect_delay:5. Runner.Bgp t spec in
+  Alcotest.(check bool)
+    (Printf.sprintf "slow (%d) >= fast (%d)" slow.Runner.transient_count
+       fast.Runner.transient_count)
+    true
+    (slow.Runner.transient_count >= fast.Runner.transient_count)
+
+let test_runner_stamp_variants_complete () =
+  let t = Topo_gen.generate (Topo_gen.default_params ~n:100 ()) in
+  let st = Random.State.make [| 3 |] in
+  let spec = Scenario.single_link st t in
+  let baseline = Runner.run_stamp ~seed:1 t spec in
+  let spread = Runner.run_stamp ~seed:1 ~spread_unlocked_blue:true t spec in
+  let smart =
+    Runner.run_stamp ~seed:1
+      ~strategy:(Coloring.Intelligent { samples = 10 })
+      t spec
+  in
+  List.iter
+    (fun (r : Runner.result) ->
+      Alcotest.(check int) "no permanent loss" 0 r.Runner.broken_after)
+    [ baseline; spread; smart ]
+
+let () =
+  Alcotest.run "misc"
+    [
+      ( "topo_gen",
+        [
+          Alcotest.test_case "validation" `Quick test_gen_validation;
+          Alcotest.test_case "tiny configs" `Quick test_gen_tiny;
+        ] );
+      ( "printers",
+        [
+          Alcotest.test_case "route" `Quick test_route_pp;
+          Alcotest.test_case "relationship" `Quick test_relationship_pp;
+          Alcotest.test_case "scenario" `Quick test_scenario_pp;
+          Alcotest.test_case "topology stats" `Quick test_topology_pp_stats;
+          Alcotest.test_case "walk status" `Quick test_fwd_status_pp;
+          Alcotest.test_case "report smoke" `Quick test_report_printers_smoke;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "mrai flush flag" `Quick test_mrai_flush_flag;
+          Alcotest.test_case "sim step" `Quick test_sim_step;
+          Alcotest.test_case "clock advance" `Quick
+            test_sim_run_advances_clock_without_events;
+          Alcotest.test_case "channel bounds" `Quick test_channel_bad_bounds;
+        ] );
+      ( "stamp-instant",
+        [
+          Alcotest.test_case "instant delivery when covered" `Quick
+            test_instant_delivery_when_fully_covered;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "detect delay" `Quick
+            test_runner_detect_delay_increases_bgp_damage;
+          Alcotest.test_case "stamp variants" `Quick
+            test_runner_stamp_variants_complete;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+(* Algebraic properties of the core data types: total orders, inverses,
+   and invariants that every engine silently relies on. *)
+
+let gen_route =
+  QCheck2.Gen.(
+    let* len = int_range 1 6 in
+    let* path = list_repeat len (int_range 0 50) in
+    let* cls = oneofl [ Relationship.Customer; Relationship.Peer; Relationship.Provider ] in
+    return { Route.as_path = path; cls })
+
+let print_route r = Format.asprintf "%a" Route.pp r
+
+(* --- Decision is a strict weak order --------------------------------- *)
+
+let prop_decision_irreflexive =
+  Test_support.qtest "decision: no route beats itself" gen_route print_route
+    (fun r -> not (Decision.better r r))
+
+let prop_decision_asymmetric =
+  Test_support.qtest "decision: asymmetry"
+    QCheck2.Gen.(tup2 gen_route gen_route)
+    QCheck2.Print.(tup2 print_route print_route)
+    (fun (a, b) -> not (Decision.better a b && Decision.better b a))
+
+let prop_decision_transitive =
+  Test_support.qtest ~count:200 "decision: transitivity"
+    QCheck2.Gen.(tup3 gen_route gen_route gen_route)
+    QCheck2.Print.(tup3 print_route print_route print_route)
+    (fun (a, b, c) ->
+      (not (Decision.better a b && Decision.better b c)) || Decision.better a c)
+
+let prop_select_returns_maximum =
+  Test_support.qtest "decision: select returns an unbeaten route"
+    QCheck2.Gen.(list_size (int_range 1 10) gen_route)
+    QCheck2.Print.(list print_route)
+    (fun rs ->
+      match Decision.select rs with
+      | None -> false
+      | Some best -> not (List.exists (fun r -> Decision.better r best) rs))
+
+(* --- Export policy ------------------------------------------------------ *)
+
+let all_rels = [ Relationship.Customer; Relationship.Peer; Relationship.Provider ]
+
+let test_export_customer_routes_universal () =
+  (* the valley-free matrix in one line: customer routes go everywhere,
+     nothing else crosses peers or providers *)
+  List.iter
+    (fun to_rel ->
+      Alcotest.(check bool) "customer exportable" true
+        (Export.allowed ~route_cls:Relationship.Customer ~to_rel))
+    all_rels;
+  List.iter
+    (fun route_cls ->
+      List.iter
+        (fun to_rel ->
+          let expected =
+            Relationship.equal route_cls Relationship.Customer
+            || Relationship.equal to_rel Relationship.Customer
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s -> %s"
+               (Relationship.to_string route_cls)
+               (Relationship.to_string to_rel))
+            expected
+            (Export.allowed ~route_cls ~to_rel))
+        all_rels)
+    all_rels
+
+(* --- Relationship inversion ------------------------------------------- *)
+
+let test_invert_involution () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "invert twice" true
+        (Relationship.equal r (Relationship.invert (Relationship.invert r))))
+    (Relationship.Sibling :: all_rels)
+
+let prop_topology_rel_symmetric =
+  Test_support.qtest ~count:20 "rel(u,v) is the inverse of rel(v,u)"
+    Test_support.gen_params Test_support.print_params (fun p ->
+      let t = Topo_gen.generate p in
+      Array.for_all
+        (fun u ->
+          Array.for_all
+            (fun (v, r) ->
+              match Topology.rel t v u with
+              | Some r' -> Relationship.equal r' (Relationship.invert r)
+              | None -> false)
+            (Topology.neighbors t u))
+        (Topology.vertices t))
+
+(* --- Prefix ordering ----------------------------------------------------- *)
+
+let gen_prefix =
+  QCheck2.Gen.(
+    let* len = int_range 0 32 in
+    let* bits = int in
+    return (Prefix.make (Int32.of_int bits) len))
+
+let print_prefix = Prefix.to_string
+
+let prop_prefix_compare_total_order =
+  Test_support.qtest "prefix: compare is antisymmetric and consistent with equal"
+    QCheck2.Gen.(tup2 gen_prefix gen_prefix)
+    QCheck2.Print.(tup2 print_prefix print_prefix)
+    (fun (a, b) ->
+      let c1 = Prefix.compare a b and c2 = Prefix.compare b a in
+      (c1 = 0) = (c2 = 0)
+      && (c1 > 0) = (c2 < 0)
+      && Prefix.equal a b = (c1 = 0))
+
+let prop_prefix_subsumes_partial_order =
+  Test_support.qtest "prefix: subsumption is reflexive and transitive-ish"
+    QCheck2.Gen.(tup2 gen_prefix gen_prefix)
+    QCheck2.Print.(tup2 print_prefix print_prefix)
+    (fun (a, b) ->
+      Prefix.subsumes a a
+      && ((not (Prefix.subsumes a b && Prefix.subsumes b a)) || Prefix.equal a b))
+
+let prop_prefix_string_roundtrip =
+  Test_support.qtest "prefix: to_string/of_string roundtrip" gen_prefix
+    print_prefix (fun p ->
+      Prefix.equal p (Prefix.of_string (Prefix.to_string p)))
+
+(* --- Event heap: a sort ---------------------------------------------------- *)
+
+let prop_heap_is_stable_sort =
+  Test_support.qtest "heap: drain equals stable sort by time"
+    QCheck2.Gen.(list_size (int_range 0 100) (int_range 0 20))
+    QCheck2.Print.(list int)
+    (fun times ->
+      let h = Event_heap.create () in
+      List.iteri (fun i t -> Event_heap.push h ~time:(float_of_int t) i) times;
+      let rec drain acc =
+        match Event_heap.pop_min h with
+        | None -> List.rev acc
+        | Some (t, i) -> drain ((t, i) :: acc)
+      in
+      let got = drain [] in
+      let expected =
+        List.mapi (fun i t -> (float_of_int t, i)) times
+        |> List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2)
+      in
+      got = expected)
+
+(* --- Valley decomposition invariants ---------------------------------------- *)
+
+let prop_decompose_partitions_path =
+  Test_support.qtest ~count:20 "valley: uphill @ downhill = the path"
+    Test_support.gen_params Test_support.print_params (fun p ->
+      let t = Topo_gen.generate p in
+      let st = Random.State.make [| p.Topo_gen.seed + 71 |] in
+      let dest = Random.State.int st (Topology.num_vertices t) in
+      let table = Static_route.compute t ~dest in
+      Array.for_all
+        (fun v ->
+          match Static_route.path_from table v with
+          | None -> false
+          | Some path ->
+            let up, down = Valley.decompose t path in
+            up @ down = path)
+        (Topology.vertices t))
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "decision",
+        [
+          prop_decision_irreflexive;
+          prop_decision_asymmetric;
+          prop_decision_transitive;
+          prop_select_returns_maximum;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "valley-free matrix" `Quick
+            test_export_customer_routes_universal;
+        ] );
+      ( "relationship",
+        [
+          Alcotest.test_case "invert involution" `Quick test_invert_involution;
+          prop_topology_rel_symmetric;
+        ] );
+      ( "prefix",
+        [
+          prop_prefix_compare_total_order;
+          prop_prefix_subsumes_partial_order;
+          prop_prefix_string_roundtrip;
+        ] );
+      ("heap", [ prop_heap_is_stable_sort ]);
+      ("valley", [ prop_decompose_partitions_path ]);
+    ]

@@ -1,0 +1,262 @@
+(* Tests for the static stable-routing oracle and the disjoint-path
+   machinery. *)
+
+let diamond = Test_support.diamond
+let diamond_plus = Test_support.diamond_plus
+let vtx = Test_support.vtx
+
+let path_to topo table asn_src =
+  match Static_route.path_from table (vtx topo asn_src) with
+  | None -> []
+  | Some p -> Test_support.asns_of_path topo p
+
+(* --- Static_route on hand-built topologies -------------------------- *)
+
+let test_routes_to_stub () =
+  let t = diamond () in
+  let table = Static_route.compute t ~dest:(vtx t 3) in
+  (* 1 and 2 have customer routes directly *)
+  Alcotest.(check (list int)) "1 -> 3" [ 1; 3 ] (path_to t table 1);
+  Alcotest.(check (list int)) "2 -> 3" [ 2; 3 ] (path_to t table 2);
+  (* 10 via its customer 1; 20 via its customer 2 *)
+  Alcotest.(check (list int)) "10 -> 3" [ 10; 1; 3 ] (path_to t table 10);
+  Alcotest.(check (list int)) "20 -> 3" [ 20; 2; 3 ] (path_to t table 20)
+
+let test_prefer_customer_over_peer () =
+  let t = diamond_plus () in
+  (* destination 3: AS 1 has customer route 1-3 (len 1) and peer route via
+     2; must pick the customer route even though both are len 2 via peers'
+     tie-break; also check 10 prefers customer 1 over peer 20 *)
+  let table = Static_route.compute t ~dest:(vtx t 3) in
+  Alcotest.(check (list int)) "1 -> 3" [ 1; 3 ] (path_to t table 1);
+  Alcotest.(check (list int)) "10 -> 3" [ 10; 1; 3 ] (path_to t table 10);
+  (match table.(vtx t 10) with
+  | Some e ->
+    Alcotest.(check bool) "class customer" true
+      (Relationship.equal e.Static_route.cls Relationship.Customer)
+  | None -> Alcotest.fail "no route");
+  ignore table
+
+let test_peer_route_class () =
+  let t = diamond () in
+  (* destination 1: 20 has no customer route to 1; its route goes via peer
+     10 (10 has customer route to 1) *)
+  let table = Static_route.compute t ~dest:(vtx t 1) in
+  Alcotest.(check (list int)) "20 -> 1" [ 20; 10; 1 ] (path_to t table 20);
+  match table.(vtx t 20) with
+  | Some e ->
+    Alcotest.(check bool) "class peer" true
+      (Relationship.equal e.Static_route.cls Relationship.Peer)
+  | None -> Alcotest.fail "no route"
+
+let test_provider_route_class () =
+  let t = diamond () in
+  (* destination 1: AS 2's route must go up to 20, across to 10, down to 1 —
+     learned from its provider 20 *)
+  let table = Static_route.compute t ~dest:(vtx t 1) in
+  Alcotest.(check (list int)) "2 -> 1" [ 2; 20; 10; 1 ] (path_to t table 2);
+  (match table.(vtx t 2) with
+  | Some e ->
+    Alcotest.(check bool) "class provider" true
+      (Relationship.equal e.Static_route.cls Relationship.Provider)
+  | None -> Alcotest.fail "no route");
+  (* 3 prefers ... both providers offer provider routes of equal length:
+     via 1 (3-1-10? no: dest is 1, 3 -> 1 direct, len 1) *)
+  Alcotest.(check (list int)) "3 -> 1" [ 3; 1 ] (path_to t table 3)
+
+let test_tie_break_lowest_next_hop () =
+  (* two equal-length customer routes: tie broken by lowest next-hop id *)
+  let b = Topology.Builder.create () in
+  Topology.Builder.add_p2c b ~provider:5 ~customer:1;
+  Topology.Builder.add_p2c b ~provider:5 ~customer:2;
+  Topology.Builder.add_p2c b ~provider:1 ~customer:9;
+  Topology.Builder.add_p2c b ~provider:2 ~customer:9;
+  let t = Topology.Builder.build b in
+  let table = Static_route.compute t ~dest:(vtx t 9) in
+  (* 5 has two customer routes 5-1-9 and 5-2-9; vertex of ASN 1 < vertex of
+     ASN 2, so path via 1 wins *)
+  Alcotest.(check (list int)) "5 -> 9" [ 5; 1; 9 ] (path_to t table 5)
+
+let test_dest_entry () =
+  let t = diamond () in
+  let table = Static_route.compute t ~dest:(vtx t 3) in
+  match table.(vtx t 3) with
+  | Some e ->
+    Alcotest.(check (list int)) "self path" [] e.Static_route.as_path
+  | None -> Alcotest.fail "destination has no entry"
+
+let test_valley_free_blocks_transit () =
+  (* a stub with two providers must not provide transit between them:
+     destination 10 reachable from 20 only through the peer link, never
+     via customer 3 *)
+  let t = diamond () in
+  let table = Static_route.compute t ~dest:(vtx t 10) in
+  Alcotest.(check (list int)) "20 -> 10" [ 20; 10 ] (path_to t table 20);
+  Alcotest.(check (list int)) "2 -> 10" [ 2; 20; 10 ] (path_to t table 2)
+
+let prop_oracle_total_on_generated =
+  Test_support.qtest ~count:25 "every AS has a route on generated topologies"
+    Test_support.gen_params Test_support.print_params (fun p ->
+      let t = Topo_gen.generate p in
+      let st = Random.State.make [| p.Topo_gen.seed + 1 |] in
+      let dest = Random.State.int st (Topology.num_vertices t) in
+      let table = Static_route.compute t ~dest in
+      Array.for_all (fun e -> e <> None) table)
+
+let prop_oracle_paths_consistent =
+  Test_support.qtest ~count:25 "oracle paths are next-hop consistent and loop-free"
+    Test_support.gen_params Test_support.print_params (fun p ->
+      let t = Topo_gen.generate p in
+      let st = Random.State.make [| p.Topo_gen.seed + 2 |] in
+      let dest = Random.State.int st (Topology.num_vertices t) in
+      let table = Static_route.compute t ~dest in
+      Array.for_all
+        (fun v ->
+          match table.(v) with
+          | None -> false
+          | Some e ->
+            let path = v :: e.Static_route.as_path in
+            (* loop-free *)
+            List.length path = List.length (List.sort_uniq compare path)
+            (* consistent: each suffix is the next hop's path *)
+            && begin
+                 match e.Static_route.as_path with
+                 | [] -> v = dest
+                 | nh :: rest -> begin
+                   match table.(nh) with
+                   | None -> false
+                   | Some e' -> e'.Static_route.as_path = rest
+                 end
+               end)
+        (Topology.vertices t))
+
+(* --- Disjoint -------------------------------------------------------- *)
+
+let test_random_uphill_path_terminates_at_tier1 () =
+  let t = diamond_plus () in
+  let st = Random.State.make [| 5 |] in
+  for _ = 1 to 50 do
+    let path = Disjoint.random_uphill_path st t ~src:(vtx t 4) in
+    (match path with
+    | src :: _ -> Alcotest.(check int) "starts at src" (vtx t 4) src
+    | [] -> Alcotest.fail "empty path");
+    let last = List.nth path (List.length path - 1) in
+    Alcotest.(check bool) "ends at tier1" true (Topology.is_tier1 t last);
+    Alcotest.(check bool) "valley-free (pure uphill)" true
+      (Valley.is_valley_free t path)
+  done
+
+let test_random_uphill_path_tier1_src () =
+  let t = diamond () in
+  let st = Random.State.make [| 5 |] in
+  Alcotest.(check (list int)) "tier-1 source"
+    [ vtx t 10 ]
+    (Disjoint.random_uphill_path st t ~src:(vtx t 10))
+
+let test_reaches_tier1_avoiding () =
+  let t = diamond () in
+  let v3 = vtx t 3 and v1 = vtx t 1 and v2 = vtx t 2 in
+  Alcotest.(check bool) "open" true
+    (Disjoint.reaches_tier1_avoiding t ~src:v3 ~blocked:(fun _ -> false));
+  Alcotest.(check bool) "one blocked" true
+    (Disjoint.reaches_tier1_avoiding t ~src:v3 ~blocked:(fun v -> v = v1));
+  Alcotest.(check bool) "both blocked" false
+    (Disjoint.reaches_tier1_avoiding t ~src:v3 ~blocked:(fun v ->
+         v = v1 || v = v2))
+
+let test_exists_disjoint_uphill_diamond () =
+  let t = diamond () in
+  let v3 = vtx t 3 in
+  let p1 = [ v3; vtx t 1; vtx t 10 ] in
+  Alcotest.(check bool) "disjoint exists" true
+    (Disjoint.exists_disjoint_uphill t ~src:v3 p1)
+
+let test_exists_disjoint_uphill_single_homed () =
+  let t = Test_support.chain 4 in
+  let v4 = vtx t 4 in
+  let p = [ v4; vtx t 3; vtx t 2; vtx t 1 ] in
+  Alcotest.(check bool) "no disjoint path" false
+    (Disjoint.exists_disjoint_uphill t ~src:v4 p)
+
+let test_enumerate_uphill_paths () =
+  let t = diamond_plus () in
+  let paths = Disjoint.enumerate_uphill_paths t ~src:(vtx t 4) in
+  (* 4-3-1-10 and 4-3-2-20 *)
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "ends at tier1" true
+        (Topology.is_tier1 t (List.nth p (List.length p - 1))))
+    paths
+
+let test_enumerate_limit () =
+  let t = diamond_plus () in
+  Alcotest.check_raises "limit"
+    (Invalid_argument "Disjoint.enumerate_uphill_paths: limit exceeded")
+    (fun () -> ignore (Disjoint.enumerate_uphill_paths ~limit:1 t ~src:(vtx t 4)))
+
+let test_count_uphill_paths () =
+  let t = diamond_plus () in
+  Alcotest.(check bool) "count = 2" true
+    (Disjoint.count_uphill_paths t ~src:(vtx t 4) = 2.);
+  Alcotest.(check bool) "tier1 count = 1" true
+    (Disjoint.count_uphill_paths t ~src:(vtx t 10) = 1.)
+
+let prop_count_matches_enumeration =
+  Test_support.qtest ~count:20 "DP path count equals enumeration"
+    Test_support.gen_params Test_support.print_params (fun p ->
+      let t = Topo_gen.generate { p with Topo_gen.n = min p.Topo_gen.n 30 } in
+      let st = Random.State.make [| p.Topo_gen.seed + 3 |] in
+      let src = Random.State.int st (Topology.num_vertices t) in
+      match Disjoint.enumerate_uphill_paths ~limit:50_000 t ~src with
+      | paths ->
+        float_of_int (List.length paths) = Disjoint.count_uphill_paths t ~src
+      | exception Invalid_argument _ -> QCheck2.assume_fail ())
+
+let prop_random_walk_is_enumerated =
+  Test_support.qtest ~count:20 "random uphill walks appear in the enumeration"
+    Test_support.gen_params Test_support.print_params (fun p ->
+      let t = Topo_gen.generate { p with Topo_gen.n = min p.Topo_gen.n 25 } in
+      let st = Random.State.make [| p.Topo_gen.seed + 4 |] in
+      let src = Random.State.int st (Topology.num_vertices t) in
+      match Disjoint.enumerate_uphill_paths ~limit:50_000 t ~src with
+      | paths ->
+        let walk = Disjoint.random_uphill_path st t ~src in
+        List.mem walk paths
+      | exception Invalid_argument _ -> QCheck2.assume_fail ())
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "static_route",
+        [
+          Alcotest.test_case "routes to stub" `Quick test_routes_to_stub;
+          Alcotest.test_case "prefer customer" `Quick
+            test_prefer_customer_over_peer;
+          Alcotest.test_case "peer class" `Quick test_peer_route_class;
+          Alcotest.test_case "provider class" `Quick test_provider_route_class;
+          Alcotest.test_case "tie break" `Quick test_tie_break_lowest_next_hop;
+          Alcotest.test_case "dest entry" `Quick test_dest_entry;
+          Alcotest.test_case "no stub transit" `Quick
+            test_valley_free_blocks_transit;
+          prop_oracle_total_on_generated;
+          prop_oracle_paths_consistent;
+        ] );
+      ( "disjoint",
+        [
+          Alcotest.test_case "random walk reaches tier1" `Quick
+            test_random_uphill_path_terminates_at_tier1;
+          Alcotest.test_case "tier1 source" `Quick test_random_uphill_path_tier1_src;
+          Alcotest.test_case "blocked reachability" `Quick
+            test_reaches_tier1_avoiding;
+          Alcotest.test_case "disjoint exists" `Quick
+            test_exists_disjoint_uphill_diamond;
+          Alcotest.test_case "single-homed no disjoint" `Quick
+            test_exists_disjoint_uphill_single_homed;
+          Alcotest.test_case "enumerate" `Quick test_enumerate_uphill_paths;
+          Alcotest.test_case "enumerate limit" `Quick test_enumerate_limit;
+          Alcotest.test_case "count" `Quick test_count_uphill_paths;
+          prop_count_matches_enumeration;
+          prop_random_walk_is_enumerated;
+        ] );
+    ]

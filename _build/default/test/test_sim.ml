@@ -1,0 +1,187 @@
+(* Tests for the discrete-event simulation kernel. *)
+
+(* --- Event_heap ------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~time:3. "c";
+  Event_heap.push h ~time:1. "a";
+  Event_heap.push h ~time:2. "b";
+  let pop () = Option.get (Event_heap.pop_min h) in
+  Alcotest.(check (pair (float 0.) string)) "first" (1., "a") (pop ());
+  Alcotest.(check (pair (float 0.) string)) "second" (2., "b") (pop ());
+  Alcotest.(check (pair (float 0.) string)) "third" (3., "c") (pop ());
+  Alcotest.(check bool) "empty" true (Event_heap.pop_min h = None)
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  for i = 0 to 9 do
+    Event_heap.push h ~time:1. i
+  done;
+  for i = 0 to 9 do
+    match Event_heap.pop_min h with
+    | Some (_, x) -> Alcotest.(check int) "fifo" i x
+    | None -> Alcotest.fail "heap empty"
+  done
+
+let test_heap_nan_rejected () =
+  let h = Event_heap.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_heap.push: NaN time")
+    (fun () -> Event_heap.push h ~time:Float.nan ())
+
+let test_heap_peek () =
+  let h = Event_heap.create () in
+  Alcotest.(check bool) "empty peek" true (Event_heap.peek_time h = None);
+  Event_heap.push h ~time:5. ();
+  Alcotest.(check bool) "peek" true (Event_heap.peek_time h = Some 5.);
+  Alcotest.(check int) "size" 1 (Event_heap.size h)
+
+let prop_heap_sorts =
+  Test_support.qtest "heap pops in nondecreasing time order"
+    QCheck2.Gen.(list_size (int_range 1 200) (float_range 0. 100.))
+    QCheck2.Print.(list float)
+    (fun times ->
+      let h = Event_heap.create () in
+      List.iter (fun t -> Event_heap.push h ~time:t ()) times;
+      let rec drain last =
+        match Event_heap.pop_min h with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* --- Sim -------------------------------------------------------------- *)
+
+let test_sim_schedule_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:2. (fun _ -> log := "b" :: !log);
+  Sim.schedule sim ~delay:1. (fun s ->
+      log := "a" :: !log;
+      Sim.schedule s ~delay:0.5 (fun _ -> log := "a2" :: !log));
+  Sim.run sim;
+  Alcotest.(check (list string)) "order" [ "a"; "a2"; "b" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock" 2. (Sim.now sim);
+  Alcotest.(check int) "events" 3 (Sim.events_processed sim)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    Sim.schedule sim ~delay:(float_of_int i) (fun _ -> incr fired)
+  done;
+  Sim.run ~until:5.5 sim;
+  Alcotest.(check int) "fired" 5 !fired;
+  Alcotest.(check int) "pending" 5 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check int) "all fired" 10 !fired
+
+let test_sim_negative_delay () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Sim.schedule: negative or NaN delay") (fun () ->
+      Sim.schedule sim ~delay:(-1.) (fun _ -> ()))
+
+let test_sim_schedule_at_past () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:5. (fun s ->
+      try
+        Sim.schedule_at s ~time:1. (fun _ -> ());
+        Alcotest.fail "expected failure"
+      with Invalid_argument _ -> ());
+  Sim.run sim
+
+let test_sim_deterministic_rng () =
+  let draw seed =
+    let sim = Sim.create ~seed () in
+    Random.State.float (Sim.rng sim) 1.
+  in
+  Alcotest.(check (float 0.)) "same seed" (draw 9) (draw 9);
+  Alcotest.(check bool) "different seed" true (draw 9 <> draw 10)
+
+(* --- Channel ----------------------------------------------------------- *)
+
+let test_channel_delay_bounds () =
+  let sim = Sim.create ~seed:3 () in
+  let received = ref [] in
+  let ch = Channel.create sim ~deliver:(fun x -> received := (x, Sim.now sim) :: !received) in
+  Channel.send ch 1;
+  Sim.run sim;
+  match !received with
+  | [ (1, at) ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "delay %.4f in [0.010, 0.020]" at)
+      true
+      (at >= 0.010 && at <= 0.020)
+  | _ -> Alcotest.fail "expected one message"
+
+let test_channel_fifo () =
+  (* send many messages back-to-back; each draws an independent delay but
+     delivery order must match send order *)
+  let sim = Sim.create ~seed:11 () in
+  let received = ref [] in
+  let ch = Channel.create sim ~deliver:(fun x -> received := x :: !received) in
+  for i = 1 to 100 do
+    Channel.send ch i
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo" (List.init 100 (fun i -> i + 1))
+    (List.rev !received);
+  Alcotest.(check int) "sent count" 100 (Channel.sent_count ch)
+
+let test_channel_fifo_across_time () =
+  let sim = Sim.create ~seed:4 () in
+  let received = ref [] in
+  let ch = Channel.create sim ~delay_lo:0.01 ~delay_hi:0.10
+             ~deliver:(fun x -> received := x :: !received) in
+  Channel.send ch "first";
+  (* second message sent 1 ms later could draw a much smaller delay *)
+  Sim.schedule sim ~delay:0.001 (fun _ -> Channel.send ch "second");
+  Sim.run sim;
+  Alcotest.(check (list string)) "order" [ "first"; "second" ] (List.rev !received)
+
+let prop_channel_never_reorders =
+  Test_support.qtest "channel preserves order for any send schedule"
+    QCheck2.Gen.(
+      tup2 small_nat (list_size (int_range 1 30) (float_range 0. 0.05)))
+    QCheck2.Print.(tup2 int (list float))
+    (fun (seed, gaps) ->
+      let sim = Sim.create ~seed () in
+      let received = ref [] in
+      let ch = Channel.create sim ~deliver:(fun x -> received := x :: !received) in
+      let t = ref 0. in
+      List.iteri
+        (fun i gap ->
+          t := !t +. gap;
+          Sim.schedule_at sim ~time:!t (fun _ -> Channel.send ch i))
+        gaps;
+      Sim.run sim;
+      List.rev !received = List.init (List.length gaps) Fun.id)
+
+let () =
+  Alcotest.run "simkernel"
+    [
+      ( "event_heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "nan rejected" `Quick test_heap_nan_rejected;
+          Alcotest.test_case "peek/size" `Quick test_heap_peek;
+          prop_heap_sorts;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "schedule order" `Quick test_sim_schedule_order;
+          Alcotest.test_case "run until" `Quick test_sim_until;
+          Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
+          Alcotest.test_case "schedule_at past" `Quick test_sim_schedule_at_past;
+          Alcotest.test_case "deterministic rng" `Quick test_sim_deterministic_rng;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "delay bounds" `Quick test_channel_delay_bounds;
+          Alcotest.test_case "fifo burst" `Quick test_channel_fifo;
+          Alcotest.test_case "fifo across time" `Quick test_channel_fifo_across_time;
+          prop_channel_never_reorders;
+        ] );
+    ]

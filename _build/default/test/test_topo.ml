@@ -1,0 +1,398 @@
+(* Tests for the stamp_topo library: topology structure, generator
+   invariants, valley-free path theory, relationship inference and I/O. *)
+
+let diamond = Test_support.diamond
+let diamond_plus = Test_support.diamond_plus
+let vtx = Test_support.vtx
+
+(* --- Topology construction ----------------------------------------- *)
+
+let test_diamond_shape () =
+  let t = diamond () in
+  Alcotest.(check int) "vertices" 5 (Topology.num_vertices t);
+  Alcotest.(check int) "links" 5 (Topology.num_links t);
+  let v10 = vtx t 10 and v20 = vtx t 20 and v3 = vtx t 3 in
+  Alcotest.(check bool) "10 tier1" true (Topology.is_tier1 t v10);
+  Alcotest.(check bool) "20 tier1" true (Topology.is_tier1 t v20);
+  Alcotest.(check bool) "3 not tier1" false (Topology.is_tier1 t v3);
+  Alcotest.(check bool) "3 multi-homed" true (Topology.is_multi_homed t v3);
+  Alcotest.(check bool) "3 stub" true (Topology.is_stub t v3);
+  Alcotest.(check int) "tier1 count" 2 (Array.length (Topology.tier1s t))
+
+let test_rel_symmetry () =
+  let t = diamond () in
+  let v10 = vtx t 10 and v1 = vtx t 1 and v20 = vtx t 20 in
+  Alcotest.(check bool) "10 sees 1 as customer" true
+    (Topology.rel t v10 v1 = Some Relationship.Customer);
+  Alcotest.(check bool) "1 sees 10 as provider" true
+    (Topology.rel t v1 v10 = Some Relationship.Provider);
+  Alcotest.(check bool) "10-20 peer" true
+    (Topology.rel t v10 v20 = Some Relationship.Peer);
+  Alcotest.(check bool) "non-adjacent" true (Topology.rel t v1 v20 = None)
+
+let test_builder_conflict () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.add_p2c b ~provider:1 ~customer:2;
+  (try
+     Topology.Builder.add_p2p b 1 2;
+     Alcotest.fail "expected conflict"
+   with Invalid_argument _ -> ());
+  (* consistent duplicate is fine *)
+  Topology.Builder.add_p2c b ~provider:1 ~customer:2
+
+let test_builder_self_link () =
+  let b = Topology.Builder.create () in
+  Alcotest.check_raises "self" (Invalid_argument "Topology.Builder: self link")
+    (fun () -> Topology.Builder.add_p2p b 5 5)
+
+let test_asn_roundtrip () =
+  let t = diamond () in
+  Array.iter
+    (fun v ->
+      match Topology.vertex_of_asn t (Topology.asn t v) with
+      | Some v' -> Alcotest.(check int) "roundtrip" v v'
+      | None -> Alcotest.fail "asn lookup failed")
+    (Topology.vertices t)
+
+let test_acyclic_detects_cycle () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.add_p2c b ~provider:1 ~customer:2;
+  Topology.Builder.add_p2c b ~provider:2 ~customer:3;
+  Topology.Builder.add_p2c b ~provider:3 ~customer:1;
+  let t = Topology.Builder.build b in
+  Alcotest.(check bool) "cyclic" false (Topology.provider_dag_is_acyclic t)
+
+let test_diamond_valid () =
+  let t = diamond () in
+  Alcotest.(check bool) "acyclic" true (Topology.provider_dag_is_acyclic t);
+  Alcotest.(check bool) "connected" true (Topology.is_connected t);
+  Alcotest.(check bool) "reach tier1" true (Topology.all_reach_tier1 t)
+
+let test_disconnected () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.add_p2c b ~provider:1 ~customer:2;
+  Topology.Builder.add_p2c b ~provider:3 ~customer:4;
+  let t = Topology.Builder.build b in
+  Alcotest.(check bool) "disconnected" false (Topology.is_connected t)
+
+(* --- Generator invariants ------------------------------------------ *)
+
+let prop_generator_invariants =
+  Test_support.qtest ~count:40 "generated topologies satisfy Gao–Rexford preconditions"
+    Test_support.gen_params Test_support.print_params (fun p ->
+      let t = Topo_gen.generate p in
+      Topology.num_vertices t = p.Topo_gen.n
+      && Topology.provider_dag_is_acyclic t
+      && Topology.is_connected t
+      && Topology.all_reach_tier1 t
+      && Array.length (Topology.tier1s t) = p.Topo_gen.n_tier1)
+
+let prop_generator_deterministic =
+  Test_support.qtest ~count:10 "same seed, same topology"
+    Test_support.gen_params Test_support.print_params (fun p ->
+      let t1 = Topo_gen.generate p and t2 = Topo_gen.generate p in
+      Topo_io.relationships_to_string t1 = Topo_io.relationships_to_string t2)
+
+let test_generator_tier1_clique () =
+  let t = Topo_gen.generate (Topo_gen.default_params ~n:200 ()) in
+  let t1s = Topology.tier1s t in
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          if a <> b then
+            Alcotest.(check bool) "tier1 peering" true
+              (Topology.rel t a b = Some Relationship.Peer))
+        t1s)
+    t1s
+
+let test_generator_multihoming_present () =
+  let t = Topo_gen.generate (Topo_gen.default_params ~n:300 ()) in
+  let mh = Array.length (Topology.multi_homed t) in
+  Alcotest.(check bool) "some multi-homing" true (mh > 50)
+
+(* --- Valley-free path theory ---------------------------------------- *)
+
+let test_steps_classification () =
+  let t = diamond () in
+  let path = [ vtx t 3; vtx t 1; vtx t 10; vtx t 20 ] in
+  Alcotest.(check bool) "up up flat" true
+    (Valley.steps t path = [ Valley.Up; Valley.Up; Valley.Flat ])
+
+let test_valley_free_accepts () =
+  let t = diamond () in
+  (* 3 -> 1 -> 10 -> 20 -> 2: up up flat down *)
+  let path = [ vtx t 3; vtx t 1; vtx t 10; vtx t 20; vtx t 2 ] in
+  Alcotest.(check bool) "valley-free" true (Valley.is_valley_free t path)
+
+let test_valley_free_rejects_valley () =
+  let t = diamond () in
+  (* 1 -> 3 -> 2: down then up = valley *)
+  let path = [ vtx t 1; vtx t 3; vtx t 2 ] in
+  Alcotest.(check bool) "valley" false (Valley.is_valley_free t path)
+
+let test_valley_free_rejects_two_peers () =
+  let t = diamond_plus () in
+  (* 10 -> 20 is peer; then 20 -> 2 -> ... fine, but 1 -> 2 (peer) after
+     10 -> 20 (peer) must be rejected: build 3 -> 1 -> 2 via peer then up *)
+  let path = [ vtx t 3; vtx t 1; vtx t 2; vtx t 20 ] in
+  (* up, flat, up: invalid *)
+  Alcotest.(check bool) "peer then up" false (Valley.is_valley_free t path)
+
+let test_decompose_full () =
+  let t = diamond () in
+  let path = [ vtx t 3; vtx t 1; vtx t 10; vtx t 20; vtx t 2 ] in
+  let up, down = Valley.decompose t path in
+  Alcotest.(check (list int)) "uphill"
+    (List.map (vtx t) [ 3; 1; 10 ])
+    up;
+  Alcotest.(check (list int)) "downhill" (List.map (vtx t) [ 20; 2 ]) down
+
+let test_decompose_pure_uphill () =
+  let t = diamond () in
+  let path = [ vtx t 3; vtx t 1; vtx t 10 ] in
+  let up, down = Valley.decompose t path in
+  Alcotest.(check (list int)) "uphill" path up;
+  Alcotest.(check (list int)) "downhill empty" [] down
+
+let test_decompose_pure_downhill () =
+  let t = diamond () in
+  let path = [ vtx t 10; vtx t 1; vtx t 3 ] in
+  let up, down = Valley.decompose t path in
+  Alcotest.(check (list int)) "uphill empty" [] up;
+  Alcotest.(check (list int)) "downhill" path down
+
+let test_downhill_disjoint_yes () =
+  let t = diamond () in
+  (* two downhill paths from 10/20 don't exist from same src; use paths
+     from 3's providers to 3... instead test paths from 10 to 3:
+     p1 = 10 -> 1 -> 3, p2 would need same endpoints; craft in
+     diamond_plus: from 10 to 4: 10-1-3-4 vs ... only one. Use symmetric:
+     compare 3->1->10->20->2->3? no. Simplest: two uphill+downhill paths
+     from 3 to 3 don't exist. Use endpoints (3, 10):
+     p1 = 3 -> 1 -> 10 (pure uphill, downhill empty)
+     p2 = 3 -> 2 -> 20 -> 10 (up up flat... 20->10 is flat) downhill empty.
+     Disjoint trivially. *)
+  let p1 = [ vtx t 3; vtx t 1; vtx t 10 ] in
+  let p2 = [ vtx t 3; vtx t 2; vtx t 20; vtx t 10 ] in
+  Alcotest.(check bool) "disjoint" true (Valley.downhill_disjoint t p1 p2)
+
+let test_downhill_disjoint_no () =
+  let t = diamond_plus () in
+  (* destination 4; paths from 10 and from 20 both end 3 -> 4 downhill:
+     p1 = 10 -> 1 -> 3 -> 4, p2 = 10 -> 20 -> 2 -> 3 -> 4 share node 3 in
+     their downhill portions. *)
+  let p1 = [ vtx t 10; vtx t 1; vtx t 3; vtx t 4 ] in
+  let p2 = [ vtx t 10; vtx t 20; vtx t 2; vtx t 3; vtx t 4 ] in
+  Alcotest.(check bool) "not disjoint" false (Valley.downhill_disjoint t p1 p2)
+
+let test_downhill_disjoint_endpoint_mismatch () =
+  let t = diamond () in
+  Alcotest.check_raises "endpoints"
+    (Invalid_argument "Valley.downhill_disjoint: paths differ in endpoints")
+    (fun () ->
+      ignore
+        (Valley.downhill_disjoint t
+           [ vtx t 3; vtx t 1 ]
+           [ vtx t 3; vtx t 2 ]))
+
+let prop_oracle_paths_valley_free =
+  Test_support.qtest ~count:25 "static-oracle paths are valley-free"
+    Test_support.gen_params Test_support.print_params (fun p ->
+      let t = Topo_gen.generate p in
+      let dest = Random.State.int (Random.State.make [| p.Topo_gen.seed |])
+                   (Topology.num_vertices t) in
+      let table = Static_route.compute t ~dest in
+      Array.for_all
+        (fun v ->
+          match Static_route.path_from table v with
+          | None -> false (* all must reach on generated topologies *)
+          | Some path -> Valley.is_valley_free t path)
+        (Topology.vertices t))
+
+(* --- Tiers ----------------------------------------------------------- *)
+
+let test_tiers_diamond () =
+  let t = diamond_plus () in
+  let tiers = Tiers.classify t in
+  Alcotest.(check int) "tier of 10" 0 tiers.(vtx t 10);
+  Alcotest.(check int) "tier of 1" 1 tiers.(vtx t 1);
+  Alcotest.(check int) "tier of 3" 2 tiers.(vtx t 3);
+  Alcotest.(check int) "tier of 4" 3 tiers.(vtx t 4)
+
+let test_customer_cone () =
+  let t = diamond_plus () in
+  Alcotest.(check int) "cone of 10" 4 (Tiers.customer_cone_size t (vtx t 10));
+  (* 10, 1, 3, 4 *)
+  Alcotest.(check int) "cone of 4" 1 (Tiers.customer_cone_size t (vtx t 4))
+
+let test_uphill_reachable () =
+  let t = diamond_plus () in
+  let reach = Tiers.uphill_reachable t (vtx t 4) in
+  Alcotest.(check bool) "reaches 10" true reach.(vtx t 10);
+  Alcotest.(check bool) "reaches 20" true reach.(vtx t 20);
+  Alcotest.(check bool) "not itself-sibling 2' case" true reach.(vtx t 4)
+
+(* --- Gao inference --------------------------------------------------- *)
+
+let oracle_paths t =
+  (* All stable forwarding paths towards every destination, as ASN lists —
+     a synthetic stand-in for RouteViews table dumps. *)
+  let paths = ref [] in
+  Array.iter
+    (fun dest ->
+      let table = Static_route.compute t ~dest in
+      Array.iter
+        (fun v ->
+          match Static_route.path_from table v with
+          | Some path when List.length path >= 2 ->
+            paths := List.map (Topology.asn t) path :: !paths
+          | Some _ | None -> ())
+        (Topology.vertices t))
+    (Topology.vertices t);
+  !paths
+
+(* A topology whose degrees correlate with the hierarchy, as in the real
+   Internet — Gao's heuristic assumes exactly this. Tier-1s 1 and 2 peer
+   and have the largest degrees. *)
+let hierarchy () =
+  let b = Topology.Builder.create () in
+  Topology.Builder.add_p2p b 1 2;
+  List.iter
+    (fun c -> Topology.Builder.add_p2c b ~provider:1 ~customer:c)
+    [ 3; 4; 5; 10; 11 ];
+  List.iter
+    (fun c -> Topology.Builder.add_p2c b ~provider:2 ~customer:c)
+    [ 5; 6; 7; 12; 13 ];
+  Topology.Builder.add_p2c b ~provider:5 ~customer:8;
+  Topology.Builder.add_p2c b ~provider:5 ~customer:9;
+  Topology.Builder.build b
+
+let test_gao_inference_hierarchy () =
+  let t = hierarchy () in
+  let verdicts = Gao_inference.infer (oracle_paths t) in
+  let agreement = Gao_inference.agreement t verdicts in
+  Alcotest.(check bool)
+    (Printf.sprintf "agreement %.2f >= 0.85" agreement)
+    true (agreement >= 0.85)
+
+let test_gao_to_topology () =
+  let t = hierarchy () in
+  let verdicts = Gao_inference.infer (oracle_paths t) in
+  let t' = Gao_inference.to_topology verdicts in
+  Alcotest.(check int) "same vertex count" (Topology.num_vertices t)
+    (Topology.num_vertices t');
+  Alcotest.(check int) "same link count" (Topology.num_links t)
+    (Topology.num_links t')
+
+let prop_gao_inference_recovers_p2c =
+  Test_support.qtest ~count:10 "inference agreement >= 60% on planted topologies"
+    Test_support.gen_params Test_support.print_params (fun p ->
+      let t = Topo_gen.generate p in
+      let verdicts = Gao_inference.infer (oracle_paths t) in
+      Gao_inference.agreement t verdicts >= 0.6)
+
+let test_gao_collapse_prepending () =
+  (* prepended paths must not confuse the inference *)
+  let paths = [ [ 1; 2; 2; 2; 3 ]; [ 3; 2; 1 ]; [ 1; 2; 3 ] ] in
+  let verdicts = Gao_inference.infer paths in
+  Alcotest.(check int) "two links" 2 (List.length verdicts)
+
+(* --- I/O -------------------------------------------------------------- *)
+
+let test_io_roundtrip () =
+  let t = diamond_plus () in
+  let s = Topo_io.relationships_to_string t in
+  let t' = Topo_io.parse_relationships s in
+  Alcotest.(check string) "roundtrip" s (Topo_io.relationships_to_string t')
+
+let prop_io_roundtrip_random =
+  Test_support.qtest ~count:15 "relationship file roundtrip on random topologies"
+    Test_support.gen_params Test_support.print_params (fun p ->
+      let t = Topo_gen.generate p in
+      let s = Topo_io.relationships_to_string t in
+      let t' = Topo_io.parse_relationships s in
+      s = Topo_io.relationships_to_string t')
+
+let test_io_parse_comments () =
+  let t =
+    Topo_io.parse_relationships "# comment\n1|2|-1 # trailing\n\n2|3|0\n"
+  in
+  Alcotest.(check int) "vertices" 3 (Topology.num_vertices t);
+  Alcotest.(check int) "links" 2 (Topology.num_links t)
+
+let test_io_parse_malformed () =
+  (try
+     ignore (Topo_io.parse_relationships "1|2|-1\nnot a line\n");
+     Alcotest.fail "expected failure"
+   with Invalid_argument msg ->
+     Alcotest.(check bool) "mentions line 2" true
+       (Astring.String.is_infix ~affix:"2" msg))
+
+let test_io_paths () =
+  let paths = Topo_io.parse_paths "1 2 3\n# c\n4\t5\n" in
+  Alcotest.(check (list (list int))) "paths" [ [ 1; 2; 3 ]; [ 4; 5 ] ] paths
+
+let () =
+  Alcotest.run "topo"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "diamond shape" `Quick test_diamond_shape;
+          Alcotest.test_case "relationship symmetry" `Quick test_rel_symmetry;
+          Alcotest.test_case "builder conflict" `Quick test_builder_conflict;
+          Alcotest.test_case "builder self link" `Quick test_builder_self_link;
+          Alcotest.test_case "asn roundtrip" `Quick test_asn_roundtrip;
+          Alcotest.test_case "cycle detection" `Quick test_acyclic_detects_cycle;
+          Alcotest.test_case "diamond valid" `Quick test_diamond_valid;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+        ] );
+      ( "generator",
+        [
+          prop_generator_invariants;
+          prop_generator_deterministic;
+          Alcotest.test_case "tier1 clique" `Quick test_generator_tier1_clique;
+          Alcotest.test_case "multihoming" `Quick
+            test_generator_multihoming_present;
+        ] );
+      ( "valley",
+        [
+          Alcotest.test_case "steps" `Quick test_steps_classification;
+          Alcotest.test_case "accepts valley-free" `Quick test_valley_free_accepts;
+          Alcotest.test_case "rejects valley" `Quick test_valley_free_rejects_valley;
+          Alcotest.test_case "rejects double peer" `Quick
+            test_valley_free_rejects_two_peers;
+          Alcotest.test_case "decompose full" `Quick test_decompose_full;
+          Alcotest.test_case "decompose uphill" `Quick test_decompose_pure_uphill;
+          Alcotest.test_case "decompose downhill" `Quick
+            test_decompose_pure_downhill;
+          Alcotest.test_case "disjoint yes" `Quick test_downhill_disjoint_yes;
+          Alcotest.test_case "disjoint no" `Quick test_downhill_disjoint_no;
+          Alcotest.test_case "disjoint endpoint mismatch" `Quick
+            test_downhill_disjoint_endpoint_mismatch;
+          prop_oracle_paths_valley_free;
+        ] );
+      ( "tiers",
+        [
+          Alcotest.test_case "classify" `Quick test_tiers_diamond;
+          Alcotest.test_case "customer cone" `Quick test_customer_cone;
+          Alcotest.test_case "uphill reachable" `Quick test_uphill_reachable;
+        ] );
+      ( "gao",
+        [
+          Alcotest.test_case "hierarchy inference" `Quick
+            test_gao_inference_hierarchy;
+          Alcotest.test_case "to_topology" `Quick test_gao_to_topology;
+          prop_gao_inference_recovers_p2c;
+          Alcotest.test_case "prepending collapse" `Quick
+            test_gao_collapse_prepending;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          prop_io_roundtrip_random;
+          Alcotest.test_case "comments" `Quick test_io_parse_comments;
+          Alcotest.test_case "malformed" `Quick test_io_parse_malformed;
+          Alcotest.test_case "paths" `Quick test_io_paths;
+        ] );
+    ]

@@ -1,0 +1,222 @@
+(* Unit and property tests for the stamp_util library. *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float name expected got =
+  if not (feq expected got) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected got
+
+(* --- Stat ----------------------------------------------------------- *)
+
+let test_mean_simple () = check_float "mean" 2. (Stat.mean [ 1.; 2.; 3. ])
+let test_mean_single () = check_float "mean" 5. (Stat.mean [ 5. ])
+let test_mean_empty_nan () = Alcotest.(check bool) "nan" true (Float.is_nan (Stat.mean []))
+
+let test_variance () =
+  check_float "variance" 2. (Stat.variance [ 1.; 2.; 3.; 4.; 5. ])
+
+let test_variance_constant () =
+  check_float "variance" 0. (Stat.variance [ 4.; 4.; 4. ])
+
+let test_stddev () = check_float "stddev" (sqrt 2.) (Stat.stddev [ 1.; 2.; 3.; 4.; 5. ])
+
+let test_percentile_bounds () =
+  let xs = [ 10.; 20.; 30.; 40. ] in
+  check_float "p0" 10. (Stat.percentile 0. xs);
+  check_float "p100" 40. (Stat.percentile 100. xs)
+
+let test_percentile_interpolation () =
+  check_float "p25" 17.5 (Stat.percentile 25. [ 10.; 20.; 30.; 40. ])
+
+let test_percentile_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stat.percentile: empty sample")
+    (fun () -> ignore (Stat.percentile 50. []));
+  Alcotest.check_raises "range" (Invalid_argument "Stat.percentile: p out of [0,100]")
+    (fun () -> ignore (Stat.percentile 101. [ 1. ]))
+
+let test_median_odd () = check_float "median" 2. (Stat.median [ 3.; 1.; 2. ])
+let test_median_even () = check_float "median" 2.5 (Stat.median [ 4.; 1.; 2.; 3. ])
+
+let test_summarize () =
+  let s = Stat.summarize [ 3.; 1.; 2. ] in
+  Alcotest.(check int) "n" 3 s.Stat.n;
+  check_float "mean" 2. s.Stat.mean;
+  check_float "min" 1. s.Stat.min;
+  check_float "max" 3. s.Stat.max;
+  check_float "median" 2. s.Stat.median
+
+let prop_percentile_monotone =
+  Test_support.qtest "percentile is monotone in p"
+    QCheck2.Gen.(
+      tup3
+        (list_size (int_range 1 40) (float_range (-100.) 100.))
+        (float_range 0. 100.) (float_range 0. 100.))
+    QCheck2.Print.(tup3 (list float) float float)
+    (fun (xs, p1, p2) ->
+      QCheck2.assume (xs <> []);
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stat.percentile lo xs <= Stat.percentile hi xs +. 1e-9)
+
+let prop_mean_between_min_max =
+  Test_support.qtest "mean lies within [min, max]"
+    QCheck2.Gen.(list_size (int_range 1 40) (float_range (-50.) 50.))
+    QCheck2.Print.(list float)
+    (fun xs ->
+      QCheck2.assume (xs <> []);
+      let s = Stat.summarize xs in
+      s.Stat.min -. 1e-9 <= s.Stat.mean && s.Stat.mean <= s.Stat.max +. 1e-9)
+
+(* --- Cdf ------------------------------------------------------------ *)
+
+let test_cdf_eval () =
+  let c = Cdf.of_samples [ 1.; 2.; 2.; 4. ] in
+  check_float "below" 0. (Cdf.eval c 0.);
+  check_float "at 1" 0.25 (Cdf.eval c 1.);
+  check_float "at 2" 0.75 (Cdf.eval c 2.);
+  check_float "at 3" 0.75 (Cdf.eval c 3.);
+  check_float "at 4" 1. (Cdf.eval c 4.);
+  check_float "above" 1. (Cdf.eval c 100.)
+
+let test_cdf_quantile () =
+  let c = Cdf.of_samples [ 1.; 2.; 3.; 4. ] in
+  check_float "q0.25" 1. (Cdf.quantile c 0.25);
+  check_float "q0.5" 2. (Cdf.quantile c 0.5);
+  check_float "q1" 4. (Cdf.quantile c 1.)
+
+let test_cdf_points () =
+  let c = Cdf.of_samples [ 2.; 1.; 2. ] in
+  let pts = Cdf.points c in
+  Alcotest.(check int) "distinct values" 2 (List.length pts);
+  let v1, f1 = List.nth pts 0 and v2, f2 = List.nth pts 1 in
+  check_float "v1" 1. v1;
+  check_float "f1" (1. /. 3.) f1;
+  check_float "v2" 2. v2;
+  check_float "f2" 1. f2
+
+let test_cdf_mean () =
+  check_float "mean" 2. (Cdf.mean (Cdf.of_samples [ 1.; 2.; 3. ]))
+
+let prop_cdf_monotone =
+  Test_support.qtest "CDF is monotone and ends at 1"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-10.) 10.))
+    QCheck2.Print.(list float)
+    (fun xs ->
+      QCheck2.assume (xs <> []);
+      let c = Cdf.of_samples xs in
+      let pts = Cdf.points c in
+      let fractions = List.map snd pts in
+      let sorted = List.sort compare fractions in
+      fractions = sorted
+      && feq 1. (List.nth fractions (List.length fractions - 1)))
+
+let prop_cdf_quantile_inverse =
+  Test_support.qtest "quantile is a left-inverse of eval"
+    QCheck2.Gen.(
+      tup2 (list_size (int_range 1 50) (float_range 0. 10.)) (float_range 0.01 1.))
+    QCheck2.Print.(tup2 (list float) float)
+    (fun (xs, q) ->
+      QCheck2.assume (xs <> []);
+      let c = Cdf.of_samples xs in
+      Cdf.eval c (Cdf.quantile c q) >= q -. 1e-9)
+
+(* --- Sample --------------------------------------------------------- *)
+
+let st () = Random.State.make [| 123 |]
+
+let test_uniform_range () =
+  let s = st () in
+  for _ = 1 to 100 do
+    let x = Sample.uniform s ~lo:2. ~hi:3. in
+    if x < 2. || x >= 3. then Alcotest.failf "uniform out of range: %f" x
+  done
+
+let test_choose_singleton () =
+  Alcotest.(check int) "only element" 7 (Sample.choose (st ()) [| 7 |])
+
+let test_choose_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Sample.choose: empty array")
+    (fun () -> ignore (Sample.choose (st ()) [||]))
+
+let test_weighted_index_degenerate () =
+  (* all mass on index 1 *)
+  let s = st () in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "index" 1 (Sample.weighted_index s [| 0.; 5.; 0. |])
+  done
+
+let test_weighted_index_invalid () =
+  Alcotest.check_raises "zero sum"
+    (Invalid_argument "Sample.weighted_index: non-positive sum") (fun () ->
+      ignore (Sample.weighted_index (st ()) [| 0.; 0. |]))
+
+let test_shuffle_permutation () =
+  let a = Array.init 20 Fun.id in
+  Sample.shuffle (st ()) a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+let test_pick_distinct () =
+  let picks = Sample.pick_distinct (st ()) 5 (Array.init 10 Fun.id) in
+  Alcotest.(check int) "count" 5 (List.length picks);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare picks))
+
+let test_pick_distinct_too_many () =
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Sample.pick_distinct: k > length") (fun () ->
+      ignore (Sample.pick_distinct (st ()) 3 [| 1 |]))
+
+let prop_weighted_index_in_range =
+  Test_support.qtest "weighted_index stays in range"
+    QCheck2.Gen.(list_size (int_range 1 10) (float_range 0.1 5.))
+    QCheck2.Print.(list float)
+    (fun ws ->
+      let w = Array.of_list ws in
+      let i = Sample.weighted_index (st ()) w in
+      i >= 0 && i < Array.length w)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "stat",
+        [
+          Alcotest.test_case "mean simple" `Quick test_mean_simple;
+          Alcotest.test_case "mean single" `Quick test_mean_single;
+          Alcotest.test_case "mean empty is nan" `Quick test_mean_empty_nan;
+          Alcotest.test_case "variance" `Quick test_variance;
+          Alcotest.test_case "variance constant" `Quick test_variance_constant;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "percentile bounds" `Quick test_percentile_bounds;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_percentile_interpolation;
+          Alcotest.test_case "percentile invalid" `Quick test_percentile_invalid;
+          Alcotest.test_case "median odd" `Quick test_median_odd;
+          Alcotest.test_case "median even" `Quick test_median_even;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          prop_percentile_monotone;
+          prop_mean_between_min_max;
+        ] );
+      ( "cdf",
+        [
+          Alcotest.test_case "eval" `Quick test_cdf_eval;
+          Alcotest.test_case "quantile" `Quick test_cdf_quantile;
+          Alcotest.test_case "points" `Quick test_cdf_points;
+          Alcotest.test_case "mean" `Quick test_cdf_mean;
+          prop_cdf_monotone;
+          prop_cdf_quantile_inverse;
+        ] );
+      ( "sample",
+        [
+          Alcotest.test_case "uniform range" `Quick test_uniform_range;
+          Alcotest.test_case "choose singleton" `Quick test_choose_singleton;
+          Alcotest.test_case "choose empty" `Quick test_choose_empty;
+          Alcotest.test_case "weighted degenerate" `Quick
+            test_weighted_index_degenerate;
+          Alcotest.test_case "weighted invalid" `Quick test_weighted_index_invalid;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "pick distinct" `Quick test_pick_distinct;
+          Alcotest.test_case "pick distinct too many" `Quick
+            test_pick_distinct_too_many;
+          prop_weighted_index_in_range;
+        ] );
+    ]
