@@ -19,17 +19,28 @@ type config = {
   samples : int;
   mrai : float;
   csv_dir : string option;
+  jobs : int;
+  json : string option;
 }
 
 let default_config =
-  { n = 1000; instances = 30; seed = 1; samples = 100; mrai = 30.; csv_dir = None }
+  {
+    n = 1000;
+    instances = 30;
+    seed = 1;
+    samples = 100;
+    mrai = 30.;
+    csv_dir = None;
+    jobs = Parallel.default_jobs ();
+    json = None;
+  }
 
 let usage () =
   prerr_endline
     "usage: main.exe [fig1|fig2|fig3a|fig3b|node|policy|partial|overhead|delay|\n\
-    \                 ablation|motivation|all|micro]\n\
+    \                 ablation|motivation|smoke|all|micro]\n\
     \                [--n N] [--instances I] [--seed S] [--samples K] [--mrai M]\n\
-    \                [--csv DIR]";
+    \                [--csv DIR] [--jobs N] [--json FILE]";
   exit 2
 
 let parse_args () =
@@ -55,6 +66,17 @@ let parse_args () =
     | "--csv" :: v :: rest ->
       cfg := { !cfg with csv_dir = Some v };
       loop rest
+    | "--jobs" :: v :: rest ->
+      cfg := { !cfg with jobs = int_of_string v };
+      loop rest
+    | "--json" :: v :: rest ->
+      (* fail now, not after a long sweep whose results would be lost *)
+      (try close_out (open_out v)
+       with Sys_error msg ->
+         Printf.eprintf "error: --json %s: %s\n" v msg;
+         exit 2);
+      cfg := { !cfg with json = Some v };
+      loop rest
     | name :: rest when name <> "" && name.[0] <> '-' ->
       target := name;
       loop rest
@@ -79,20 +101,54 @@ let section title = Format.printf "=== %s ===@." title
 let timed f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Format.printf "(%.1fs)@.@." (Unix.gettimeofday () -. t0);
-  r
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "(%.1fs)@.@." dt;
+  (r, dt)
+
+(* --- machine-readable bench output ------------------------------------ *)
+
+(* One entry per executed target; flushed as a single JSON document by
+   [write_json] so perf trajectories can be tracked in BENCH_*.json
+   files. *)
+let json_entries : string list ref = ref []
+
+let record_target ?bars name wall =
+  let bars_field =
+    match bars with
+    | None -> ""
+    | Some j -> Printf.sprintf ", \"bars\": %s" j
+  in
+  json_entries :=
+    Printf.sprintf "{\"target\": %S, \"wall_s\": %.3f%s}" name wall bars_field
+    :: !json_entries
+
+let write_json cfg =
+  match cfg.json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\"n\": %d, \"instances\": %d, \"seed\": %d, \"mrai\": %g, \"jobs\": \
+       %d,\n \"targets\": [\n  %s\n]}\n"
+      cfg.n cfg.instances cfg.seed cfg.mrai cfg.jobs
+      (String.concat ",\n  " (List.rev !json_entries));
+    close_out oc;
+    Format.printf "(wrote %s)@." path
 
 (* --- figure targets --------------------------------------------------- *)
 
-let fig1 cfg =
+let fig1 _pool cfg =
   section "Figure 1: CDF of Phi_k (probability that all ASes get both colours)";
-  timed (fun () ->
-      let r =
-        Experiment.fig1 ~samples:cfg.samples
-          ~intelligent_samples:(max 10 (cfg.samples / 3))
-          ~seed:cfg.seed (topology cfg)
-      in
-      Format.printf "%a@." Report.pp_fig1 r)
+  let (), wall =
+    timed (fun () ->
+        let r =
+          Experiment.fig1 ~samples:cfg.samples
+            ~intelligent_samples:(max 10 (cfg.samples / 3))
+            ~seed:cfg.seed (topology cfg)
+        in
+        Format.printf "%a@." Report.pp_fig1 r)
+  in
+  record_target "fig1" wall
 
 let write_csv cfg name content =
   match cfg.csv_dir with
@@ -105,99 +161,115 @@ let write_csv cfg name content =
     close_out oc;
     Format.printf "(wrote %s)@." path
 
-let bars cfg ~csv_name title scenario paper =
+let bars pool cfg ~csv_name title scenario paper =
   section title;
-  timed (fun () ->
-      let rows =
-        Experiment.failure_bars_stats ~instances:cfg.instances ~seed:cfg.seed
-          ~mrai_base:cfg.mrai ~scenario (topology cfg)
-      in
-      Format.printf "%a@." (Report.pp_bars_stats ~paper) rows;
-      write_csv cfg csv_name (Report.bars_to_csv rows))
+  let rows, wall =
+    timed (fun () ->
+        let rows =
+          Experiment.failure_bars_stats ~pool ~instances:cfg.instances
+            ~seed:cfg.seed ~mrai_base:cfg.mrai ~scenario (topology cfg)
+        in
+        Format.printf "%a@." (Report.pp_bars_stats ~paper) rows;
+        write_csv cfg csv_name (Report.bars_to_csv rows);
+        rows)
+  in
+  record_target csv_name wall ~bars:(Report.bars_stats_to_json rows)
 
-let fig2 cfg =
-  bars cfg ~csv_name:"fig2"
+let fig2 pool cfg =
+  bars pool cfg ~csv_name:"fig2"
     "Figure 2: ASes with transient problems, single provider-link failure"
     Scenario.single_link Report.paper_fig2
 
-let fig3a cfg =
-  bars cfg ~csv_name:"fig3a"
+let fig3a pool cfg =
+  bars pool cfg ~csv_name:"fig3a"
     "Figure 3(a): two failed links not connected to the same AS"
     Scenario.two_links_apart Report.paper_fig3a
 
-let fig3b cfg =
-  bars cfg ~csv_name:"fig3b"
+let fig3b pool cfg =
+  bars pool cfg ~csv_name:"fig3b"
     "Figure 3(b): two failed links connected to the same AS"
     Scenario.two_links_shared Report.paper_fig3b
 
-let node cfg =
+let node pool cfg =
   (* Section 6.2.2's closing remark: single node (AS) failures show the
      same conclusions as Figure 3(b); reuse its paper column. *)
-  bars cfg ~csv_name:"node"
+  bars pool cfg ~csv_name:"node"
     "Node failure: one provider of the origin fails entirely"
     Scenario.node_failure Report.paper_fig3b
 
-let policy cfg =
+let policy pool cfg =
   section
     "Policy-change event: the origin stops announcing to one provider \
      (same event class as Figure 2, no physical failure)";
-  timed (fun () ->
-      let b =
-        Experiment.failure_bars ~instances:cfg.instances ~seed:cfg.seed
-          ~mrai_base:cfg.mrai ~scenario:Scenario.policy_withdraw (topology cfg)
-      in
-      Format.printf "%a@." Report.pp_bars_plain b)
+  let b, wall =
+    timed (fun () ->
+        let b =
+          Experiment.failure_bars ~pool ~instances:cfg.instances ~seed:cfg.seed
+            ~mrai_base:cfg.mrai ~scenario:Scenario.policy_withdraw
+            (topology cfg)
+        in
+        Format.printf "%a@." Report.pp_bars_plain b;
+        b)
+  in
+  record_target "policy" wall ~bars:(Report.bars_to_json b)
 
-let partial cfg =
+let partial pool cfg =
   section "Section 6.3: partial deployment at tier-1 ASes only";
-  timed (fun () ->
-      let f = Experiment.partial_deployment (topology cfg) in
-      Format.printf
-        "fraction of destinations with two disjoint tier-1 downhill paths: \
-         %.3f   (paper: ~0.75)@."
-        f;
-      Format.printf "incremental deployment (STAMP at tiers <= k, static):@.";
-      List.iter
-        (fun (k, frac) ->
-          Format.printf "  k = %d : %5.1f%% of destinations protected@." k
-            (100. *. frac))
-        (Phi.deployment_curve (topology cfg) ~max_tier:3);
-      Format.printf
-        "incremental deployment (dynamic: avg transient ASes, single-link \
-         workload):@.";
-      let bgp_avg =
-        List.assoc Runner.Bgp
-          (Experiment.failure_bars
+  let (), wall =
+    timed (fun () ->
+        let f = Experiment.partial_deployment (topology cfg) in
+        Format.printf
+          "fraction of destinations with two disjoint tier-1 downhill paths: \
+           %.3f   (paper: ~0.75)@."
+          f;
+        Format.printf "incremental deployment (STAMP at tiers <= k, static):@.";
+        List.iter
+          (fun (k, frac) ->
+            Format.printf "  k = %d : %5.1f%% of destinations protected@." k
+              (100. *. frac))
+          (Phi.deployment_curve (topology cfg) ~max_tier:3);
+        Format.printf
+          "incremental deployment (dynamic: avg transient ASes, single-link \
+           workload):@.";
+        let bgp_avg =
+          List.assoc Runner.Bgp
+            (Experiment.failure_bars ~pool
+               ~instances:(max 5 (cfg.instances / 3))
+               ~seed:cfg.seed ~scenario:Scenario.single_link (topology cfg))
+        in
+        Format.printf "  plain BGP        : %8.1f@." bgp_avg;
+        List.iter
+          (fun (k, avg) -> Format.printf "  STAMP at k <= %d  : %8.1f@." k avg)
+          (Experiment.partial_deployment_dynamic ~pool
              ~instances:(max 5 (cfg.instances / 3))
-             ~seed:cfg.seed ~scenario:Scenario.single_link (topology cfg))
-      in
-      Format.printf "  plain BGP        : %8.1f@." bgp_avg;
-      List.iter
-        (fun (k, avg) -> Format.printf "  STAMP at k <= %d  : %8.1f@." k avg)
-        (Experiment.partial_deployment_dynamic
-           ~instances:(max 5 (cfg.instances / 3))
-           ~seed:cfg.seed ~max_tier:2 (topology cfg)))
+             ~seed:cfg.seed ~max_tier:2 (topology cfg)))
+  in
+  record_target "partial" wall
 
-let overhead_delay cfg =
+let overhead_delay pool cfg =
   section "Section 6.3: protocol message overhead and convergence delay";
-  timed (fun () ->
-      let rows =
-        Experiment.overhead_and_delay ~instances:cfg.instances ~seed:cfg.seed
-          ~mrai_base:cfg.mrai (topology cfg)
-      in
-      Format.printf "%a@." Report.pp_overhead rows)
+  let (), wall =
+    timed (fun () ->
+        let rows =
+          Experiment.overhead_and_delay ~pool ~instances:cfg.instances
+            ~seed:cfg.seed ~mrai_base:cfg.mrai (topology cfg)
+        in
+        Format.printf "%a@." Report.pp_overhead rows)
+  in
+  record_target "overhead" wall
 
-let ablation cfg =
+let ablation pool cfg =
+  let t0 = Unix.gettimeofday () in
   section "Ablation: STAMP protocol variants (avg ASes with transient problems)";
-  timed (fun () ->
+  ignore @@ timed (fun () ->
       List.iter
         (fun (label, avg) -> Format.printf "  %-45s %8.1f@." label avg)
-        (Experiment.ablation_stamp_variants
+        (Experiment.ablation_stamp_variants ~pool
            ~instances:(max 5 (cfg.instances / 2))
            ~seed:cfg.seed (topology cfg)));
   section
     "Ablation: MRAI base interval (affected ASes / reconvergence delay)";
-  timed (fun () ->
+  ignore @@ timed (fun () ->
       List.iter
         (fun (mrai, rows) ->
           Format.printf "  MRAI base %5.1fs:" mrai;
@@ -207,7 +279,7 @@ let ablation cfg =
                 transients delay)
             rows;
           Format.printf "@.")
-        (Experiment.ablation_mrai
+        (Experiment.ablation_mrai ~pool
            ~instances:(max 5 (cfg.instances / 3))
            ~seed:cfg.seed
            ~values:[ 0.; 5.; 15.; 30.; 60. ]
@@ -215,7 +287,7 @@ let ablation cfg =
   section
     "Ablation: control-plane detection delay (data-plane fallbacks keep \
      working)";
-  timed (fun () ->
+  ignore @@ timed (fun () ->
       List.iter
         (fun (delay, bars) ->
           Format.printf "  detect after %5.2fs:" delay;
@@ -224,13 +296,13 @@ let ablation cfg =
               Format.printf "  %s=%.1f" (Runner.protocol_name p) avg)
             bars;
           Format.printf "@.")
-        (Experiment.ablation_detection
+        (Experiment.ablation_detection ~pool
            ~instances:(max 5 (cfg.instances / 3))
            ~seed:cfg.seed
            ~values:[ 0.; 0.5; 2.; 10. ]
            (topology cfg)));
   section "Ablation: topology-family sensitivity (single-link workload)";
-  timed (fun () ->
+  ignore @@ timed (fun () ->
       List.iter
         (fun (label, bars) ->
           Format.printf "  %-22s" label;
@@ -239,36 +311,72 @@ let ablation cfg =
               Format.printf "  %s=%.1f" (Runner.protocol_name p) avg)
             bars;
           Format.printf "@.")
-        (Experiment.ablation_topology
+        (Experiment.ablation_topology ~pool
            ~instances:(max 4 (cfg.instances / 4))
            ~seed:cfg.seed ~n:(min cfg.n 600) ()));
   section "Ablation: transient-monitor probe interval (BGP)";
-  timed (fun () ->
+  ignore @@ timed (fun () ->
       List.iter
         (fun (interval, avg) ->
           Format.printf "  probe every %6.3fs: %8.1f affected ASes@." interval avg)
-        (Experiment.ablation_probe_interval
+        (Experiment.ablation_probe_interval ~pool
            ~instances:(max 5 (cfg.instances / 3))
            ~seed:cfg.seed
            ~values:[ 0.01; 0.02; 0.05; 0.2; 1.0 ]
-           (topology cfg)))
+           (topology cfg)));
+  record_target "ablation" (Unix.gettimeofday () -. t0)
 
-let motivation cfg =
+let motivation pool cfg =
   section
     "Motivation check (Section 1): share of packet-loss observations that \
      are loops";
-  timed (fun () ->
-      List.iter
-        (fun (p, share) ->
-          Format.printf "  %-20s %s@." (Runner.protocol_name p)
-            (if Float.is_nan share then "no losses at all"
-             else Printf.sprintf "%5.1f%% of losses are loops" (100. *. share)))
-        (Experiment.motivation_loss_composition
-           ~instances:(max 5 (cfg.instances / 2))
-           ~seed:cfg.seed (topology cfg));
-      Format.printf
-        "  (measurement studies the paper cites attribute up to 90%% of \
-         convergence losses to loops)@.")
+  let (), wall =
+    timed (fun () ->
+        List.iter
+          (fun (p, share) ->
+            Format.printf "  %-20s %s@." (Runner.protocol_name p)
+              (if Float.is_nan share then "no losses at all"
+               else
+                 Printf.sprintf "%5.1f%% of losses are loops" (100. *. share)))
+          (Experiment.motivation_loss_composition ~pool
+             ~instances:(max 5 (cfg.instances / 2))
+             ~seed:cfg.seed (topology cfg));
+        Format.printf
+          "  (measurement studies the paper cites attribute up to 90%% of \
+           convergence losses to loops)@.")
+  in
+  record_target "motivation" wall
+
+(* --- smoke: the dune-runtest fast path --------------------------------- *)
+
+(* Tiny topology, two instances: exercises the domain pool on every
+   [dune runtest] and fails loudly if parallel execution ever diverges
+   from the sequential baseline. *)
+let smoke pool cfg =
+  (* n = 200 / 6 instances is the smallest configuration where the default
+     seed yields nonzero BGP bars, so the comparison below is not
+     vacuous. *)
+  section
+    (Printf.sprintf
+       "Smoke: pool determinism, jobs=%d vs sequential (n=200, 6 instances)"
+       (Parallel.jobs pool));
+  let topo =
+    Topo_gen.generate (Topo_gen.default_params ~seed:cfg.seed ~n:200 ())
+  in
+  let run ?pool () =
+    Experiment.failure_bars_stats ?pool ~instances:6 ~seed:cfg.seed
+      ~mrai_base:cfg.mrai ~scenario:Scenario.single_link topo
+  in
+  let seq, _ = timed (fun () -> run ()) in
+  let par, wall = timed (fun () -> run ~pool ()) in
+  if seq <> par then begin
+    prerr_endline
+      "smoke: FAIL — parallel results differ from the sequential baseline";
+    exit 1
+  end;
+  Format.printf "smoke OK: jobs=%d bit-identical to sequential@."
+    (Parallel.jobs pool);
+  record_target "smoke" wall ~bars:(Report.bars_stats_to_json par)
 
 (* --- Bechamel micro-benchmarks ---------------------------------------- *)
 
@@ -349,27 +457,33 @@ let micro cfg =
 
 let () =
   let target, cfg = parse_args () in
-  match target with
-  | "fig1" -> fig1 cfg
-  | "fig2" -> fig2 cfg
-  | "fig3a" -> fig3a cfg
-  | "fig3b" -> fig3b cfg
-  | "node" -> node cfg
-  | "policy" -> policy cfg
-  | "partial" -> partial cfg
-  | "overhead" | "delay" -> overhead_delay cfg
-  | "ablation" -> ablation cfg
-  | "motivation" -> motivation cfg
-  | "micro" -> micro cfg
-  | "all" ->
-    fig1 cfg;
-    fig2 cfg;
-    fig3a cfg;
-    fig3b cfg;
-    node cfg;
-    policy cfg;
-    partial cfg;
-    overhead_delay cfg;
-    motivation cfg;
-    ablation cfg
-  | _ -> usage ()
+  let pool = Parallel.create ~jobs:cfg.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown pool)
+    (fun () ->
+      (match target with
+      | "fig1" -> fig1 pool cfg
+      | "fig2" -> fig2 pool cfg
+      | "fig3a" -> fig3a pool cfg
+      | "fig3b" -> fig3b pool cfg
+      | "node" -> node pool cfg
+      | "policy" -> policy pool cfg
+      | "partial" -> partial pool cfg
+      | "overhead" | "delay" -> overhead_delay pool cfg
+      | "ablation" -> ablation pool cfg
+      | "motivation" -> motivation pool cfg
+      | "smoke" -> smoke pool cfg
+      | "micro" -> micro cfg
+      | "all" ->
+        fig1 pool cfg;
+        fig2 pool cfg;
+        fig3a pool cfg;
+        fig3b pool cfg;
+        node pool cfg;
+        policy pool cfg;
+        partial pool cfg;
+        overhead_delay pool cfg;
+        motivation pool cfg;
+        ablation pool cfg
+      | _ -> usage ());
+      write_json cfg)

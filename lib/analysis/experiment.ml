@@ -24,45 +24,78 @@ let fig1 ?(samples = 100) ?(intelligent_samples = 30) ?(seed = 1) topo =
     frac_above_09 = 1. -. Cdf.fraction_at_most cdf 0.9;
   }
 
+(* --- parallel sweep plumbing ------------------------------------------- *)
+
+(* Every sweep below is a flat list of independent jobs, each seeded as
+   [seed + instance] exactly like the historical sequential loops, so the
+   numbers are bit-identical whether they run inline ([pool] absent),
+   on one worker, or on many. *)
+let pmap ?pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some pool -> Parallel.map pool f xs
+
+(* Split a flat job-result list back into consecutive groups of [k] —
+   the inverse of the [List.concat_map] that built the job list. *)
+let chunks k xs =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> invalid_arg "Experiment.chunks: ragged result list"
+    | x :: tl -> take (k - 1) (x :: acc) tl
+  in
+  let rec go = function
+    | [] -> []
+    | xs ->
+      let c, rest = take k [] xs in
+      c :: go rest
+  in
+  go xs
+
 type bars = (Runner.protocol * float) list
 
-let failure_bars ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
-    ?(interval = 0.02) ~scenario topo =
-  let st = Random.State.make [| seed |] in
-  let specs = List.init instances (fun _ -> scenario st topo) in
-  List.map
-    (fun protocol ->
-      let total =
-        List.fold_left
-          (fun acc (i, spec) ->
-            let r =
-              Runner.run ~seed:(seed + i) ~mrai_base ~interval protocol topo
-                spec
-            in
-            acc + r.Runner.transient_count)
-          0
-          (List.mapi (fun i s -> (i, s)) specs)
-      in
-      (protocol, float_of_int total /. float_of_int instances))
-    Runner.all_protocols
+let avg_int instances counts =
+  float_of_int (List.fold_left ( + ) 0 counts) /. float_of_int instances
 
-let failure_bars_stats ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
+let failure_bars ?pool ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
     ?(interval = 0.02) ~scenario topo =
   let st = Random.State.make [| seed |] in
   let specs = List.init instances (fun i -> (i, scenario st topo)) in
-  List.map
-    (fun protocol ->
-      let counts =
-        List.map
-          (fun (i, spec) ->
-            float_of_int
-              (Runner.run ~seed:(seed + i) ~mrai_base ~interval protocol topo
-                 spec)
-                .Runner.transient_count)
-          specs
-      in
-      (protocol, Stat.summarize counts))
-    Runner.all_protocols
+  let jobs =
+    List.concat_map
+      (fun protocol -> List.map (fun (i, s) -> (protocol, i, s)) specs)
+      Runner.all_protocols
+  in
+  let counts =
+    pmap ?pool
+      (fun (protocol, i, spec) ->
+        (Runner.run ~seed:(seed + i) ~mrai_base ~interval protocol topo spec)
+          .Runner.transient_count)
+      jobs
+  in
+  List.map2
+    (fun protocol cs -> (protocol, avg_int instances cs))
+    Runner.all_protocols (chunks instances counts)
+
+let failure_bars_stats ?pool ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
+    ?(interval = 0.02) ~scenario topo =
+  let st = Random.State.make [| seed |] in
+  let specs = List.init instances (fun i -> (i, scenario st topo)) in
+  let jobs =
+    List.concat_map
+      (fun protocol -> List.map (fun (i, s) -> (protocol, i, s)) specs)
+      Runner.all_protocols
+  in
+  let counts =
+    pmap ?pool
+      (fun (protocol, i, spec) ->
+        float_of_int
+          (Runner.run ~seed:(seed + i) ~mrai_base ~interval protocol topo spec)
+            .Runner.transient_count)
+      jobs
+  in
+  List.map2
+    (fun protocol cs -> (protocol, Stat.summarize cs))
+    Runner.all_protocols (chunks instances counts)
 
 type overhead_result = {
   protocol : Runner.protocol;
@@ -72,18 +105,23 @@ type overhead_result = {
   avg_recovery : float;
 }
 
-let overhead_and_delay ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
+let overhead_and_delay ?pool ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
     ?(interval = 0.02) topo =
   let st = Random.State.make [| seed |] in
-  let specs = List.init instances (fun _ -> Scenario.single_link st topo) in
-  List.map
-    (fun protocol ->
-      let results =
-        List.mapi
-          (fun i spec ->
-            Runner.run ~seed:(seed + i) ~mrai_base ~interval protocol topo spec)
-          specs
-      in
+  let specs = List.init instances (fun i -> (i, Scenario.single_link st topo)) in
+  let jobs =
+    List.concat_map
+      (fun protocol -> List.map (fun (i, s) -> (protocol, i, s)) specs)
+      Runner.all_protocols
+  in
+  let results =
+    pmap ?pool
+      (fun (protocol, i, spec) ->
+        Runner.run ~seed:(seed + i) ~mrai_base ~interval protocol topo spec)
+      jobs
+  in
+  List.map2
+    (fun protocol results ->
       let favg f =
         Stat.mean (List.map (fun r -> float_of_int (f r)) results)
       in
@@ -96,7 +134,7 @@ let overhead_and_delay ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
         avg_recovery =
           Stat.mean (List.map (fun r -> r.Runner.recovery_delay) results);
       })
-    Runner.all_protocols
+    Runner.all_protocols (chunks instances results)
 
 let partial_deployment = Phi.partial_deployment_tier1
 
@@ -104,124 +142,160 @@ let single_link_specs ~instances ~seed topo =
   let st = Random.State.make [| seed |] in
   List.init instances (fun i -> (i, Scenario.single_link st topo))
 
-let partial_deployment_dynamic ?(instances = 10) ?(seed = 1) ?(mrai_base = 30.)
-    ~max_tier topo =
+let partial_deployment_dynamic ?pool ?(instances = 10) ?(seed = 1)
+    ?(mrai_base = 30.) ~max_tier topo =
   let specs = single_link_specs ~instances ~seed topo in
   let tiers = Tiers.classify topo in
-  List.init (max_tier + 1) (fun k ->
-      let total =
-        List.fold_left
-          (fun acc (i, spec) ->
-            acc
-            + (Runner.run_hybrid ~seed:(seed + i) ~mrai_base
-                 ~deployed:(fun v -> tiers.(v) <= k)
-                 topo spec)
-                .Runner.transient_count)
-          0 specs
-      in
-      (k, float_of_int total /. float_of_int instances))
+  let ks = List.init (max_tier + 1) Fun.id in
+  let jobs =
+    List.concat_map (fun k -> List.map (fun (i, s) -> (k, i, s)) specs) ks
+  in
+  let counts =
+    pmap ?pool
+      (fun (k, i, spec) ->
+        (Runner.run_hybrid ~seed:(seed + i) ~mrai_base
+           ~deployed:(fun v -> tiers.(v) <= k)
+           topo spec)
+          .Runner.transient_count)
+      jobs
+  in
+  List.map2 (fun k cs -> (k, avg_int instances cs)) ks (chunks instances counts)
 
-let ablation_mrai ?(instances = 10) ?(seed = 1) ~values topo =
+let ablation_mrai ?pool ?(instances = 10) ?(seed = 1) ~values topo =
   let specs = single_link_specs ~instances ~seed topo in
-  List.map
-    (fun mrai_base ->
+  let jobs =
+    List.concat_map
+      (fun mrai_base ->
+        List.concat_map
+          (fun protocol -> List.map (fun (i, s) -> (mrai_base, protocol, i, s)) specs)
+          Runner.all_protocols)
+      values
+  in
+  let results =
+    pmap ?pool
+      (fun (mrai_base, protocol, i, spec) ->
+        Runner.run ~seed:(seed + i) ~mrai_base protocol topo spec)
+      jobs
+  in
+  let n_protocols = List.length Runner.all_protocols in
+  List.map2
+    (fun mrai_base per_value ->
       let rows =
-        List.map
-          (fun protocol ->
-            let results =
-              List.map
-                (fun (i, spec) ->
-                  Runner.run ~seed:(seed + i) ~mrai_base protocol topo spec)
-                specs
-            in
+        List.map2
+          (fun protocol results ->
             let avg f = Stat.mean (List.map f results) in
             ( protocol,
               avg (fun r -> float_of_int r.Runner.transient_count),
               avg (fun r -> r.Runner.convergence_delay) ))
-          Runner.all_protocols
+          Runner.all_protocols (chunks instances per_value)
       in
       (mrai_base, rows))
     values
+    (chunks (n_protocols * instances) results)
 
-let ablation_stamp_variants ?(instances = 15) ?(seed = 1) topo =
+let ablation_stamp_variants ?pool ?(instances = 15) ?(seed = 1) topo =
   let specs = single_link_specs ~instances ~seed topo in
-  let avg run =
-    let total =
-      List.fold_left
-        (fun acc (i, spec) ->
-          acc + (run ~seed:(seed + i) spec).Runner.transient_count)
-        0 specs
-    in
-    float_of_int total /. float_of_int instances
-  in
-  [
-    ( "baseline (lock-only blue, random colouring)",
-      avg (fun ~seed spec -> Runner.run_stamp ~seed topo spec) );
-    ( "spread unlocked blue to providers",
-      avg (fun ~seed spec ->
-          Runner.run_stamp ~seed ~spread_unlocked_blue:true topo spec) );
-    ( "intelligent locked-blue colouring",
-      avg (fun ~seed spec ->
+  let variants =
+    [
+      ( "baseline (lock-only blue, random colouring)",
+        fun ~seed spec -> Runner.run_stamp ~seed topo spec );
+      ( "spread unlocked blue to providers",
+        fun ~seed spec ->
+          Runner.run_stamp ~seed ~spread_unlocked_blue:true topo spec );
+      ( "intelligent locked-blue colouring",
+        fun ~seed spec ->
           Runner.run_stamp ~seed
             ~strategy:(Coloring.Intelligent { samples = 30 })
-            topo spec) );
-  ]
+            topo spec );
+    ]
+  in
+  let jobs =
+    List.concat_map
+      (fun (_, run) -> List.map (fun (i, s) -> (run, i, s)) specs)
+      variants
+  in
+  let counts =
+    pmap ?pool
+      (fun (run, i, spec) -> (run ~seed:(seed + i) spec).Runner.transient_count)
+      jobs
+  in
+  List.map2
+    (fun (label, _) cs -> (label, avg_int instances cs))
+    variants (chunks instances counts)
 
-let ablation_probe_interval ?(instances = 10) ?(seed = 1) ~values topo =
+let ablation_probe_interval ?pool ?(instances = 10) ?(seed = 1) ~values topo =
   let specs = single_link_specs ~instances ~seed topo in
-  List.map
-    (fun interval ->
-      let total =
-        List.fold_left
-          (fun acc (i, spec) ->
-            acc
-            + (Runner.run ~seed:(seed + i) ~interval Runner.Bgp topo spec)
-                .Runner.transient_count)
-          0 specs
-      in
-      (interval, float_of_int total /. float_of_int instances))
-    values
+  let jobs =
+    List.concat_map
+      (fun interval -> List.map (fun (i, s) -> (interval, i, s)) specs)
+      values
+  in
+  let counts =
+    pmap ?pool
+      (fun (interval, i, spec) ->
+        (Runner.run ~seed:(seed + i) ~interval Runner.Bgp topo spec)
+          .Runner.transient_count)
+      jobs
+  in
+  List.map2
+    (fun interval cs -> (interval, avg_int instances cs))
+    values (chunks instances counts)
 
-let ablation_detection ?(instances = 10) ?(seed = 1) ~values topo =
+let ablation_detection ?pool ?(instances = 10) ?(seed = 1) ~values topo =
   let specs = single_link_specs ~instances ~seed topo in
-  List.map
-    (fun detect_delay ->
-      let bars =
-        List.map
+  let jobs =
+    List.concat_map
+      (fun detect_delay ->
+        List.concat_map
           (fun protocol ->
-            let total =
-              List.fold_left
-                (fun acc (i, spec) ->
-                  acc
-                  + (Runner.run ~seed:(seed + i) ~detect_delay protocol topo
-                       spec)
-                      .Runner.transient_count)
-                0 specs
-            in
-            (protocol, float_of_int total /. float_of_int instances))
-          Runner.all_protocols
+            List.map (fun (i, s) -> (detect_delay, protocol, i, s)) specs)
+          Runner.all_protocols)
+      values
+  in
+  let counts =
+    pmap ?pool
+      (fun (detect_delay, protocol, i, spec) ->
+        (Runner.run ~seed:(seed + i) ~detect_delay protocol topo spec)
+          .Runner.transient_count)
+      jobs
+  in
+  let n_protocols = List.length Runner.all_protocols in
+  List.map2
+    (fun detect_delay per_value ->
+      let bars =
+        List.map2
+          (fun protocol cs -> (protocol, avg_int instances cs))
+          Runner.all_protocols (chunks instances per_value)
       in
       (detect_delay, bars))
     values
+    (chunks (n_protocols * instances) counts)
 
-let motivation_loss_composition ?(instances = 15) ?(seed = 1) topo =
+let motivation_loss_composition ?pool ?(instances = 15) ?(seed = 1) topo =
   let specs = single_link_specs ~instances ~seed topo in
-  List.map
-    (fun protocol ->
-      let loss = ref 0 and loops = ref 0 in
-      List.iter
-        (fun (i, spec) ->
-          let s = Runner.run_traffic ~seed:(seed + i) protocol topo spec in
-          loss := !loss + s.Traffic.loss_events;
-          loops := !loops + s.Traffic.loop_events)
-        specs;
+  let jobs =
+    List.concat_map
+      (fun protocol -> List.map (fun (i, s) -> (protocol, i, s)) specs)
+      Runner.all_protocols
+  in
+  let summaries =
+    pmap ?pool
+      (fun (protocol, i, spec) ->
+        Runner.run_traffic ~seed:(seed + i) protocol topo spec)
+      jobs
+  in
+  List.map2
+    (fun protocol summaries ->
+      let total f = List.fold_left (fun acc s -> acc + f s) 0 summaries in
+      let loss = total (fun s -> s.Traffic.loss_events)
+      and loops = total (fun s -> s.Traffic.loop_events) in
       let share =
-        if !loss = 0 then nan else float_of_int !loops /. float_of_int !loss
+        if loss = 0 then nan else float_of_int loops /. float_of_int loss
       in
       (protocol, share))
-    Runner.all_protocols
+    Runner.all_protocols (chunks instances summaries)
 
-let ablation_topology ?(instances = 8) ?(seed = 1) ~n () =
+let ablation_topology ?pool ?(instances = 8) ?(seed = 1) ~n () =
   let base = Topo_gen.default_params ~seed ~n () in
   let variants =
     [
@@ -238,5 +312,6 @@ let ablation_topology ?(instances = 8) ?(seed = 1) ~n () =
     (fun (label, params) ->
       let topo = Topo_gen.generate params in
       ( label,
-        failure_bars ~instances ~seed ~scenario:Scenario.single_link topo ))
+        failure_bars ?pool ~instances ~seed ~scenario:Scenario.single_link topo
+      ))
     variants

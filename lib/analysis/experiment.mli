@@ -1,6 +1,14 @@
 (** Paper-level experiments: one function per table/figure of Section 6.
     Each returns a structured result; {!Report} renders them as the rows
-    and series the paper plots. *)
+    and series the paper plots.
+
+    Every sweep over (protocol, scenario-instance) pairs accepts an
+    optional {!Parallel.t} pool and distributes its independent
+    [Runner.run] jobs over it. Determinism contract: each job derives all
+    randomness from its own explicit seed ([seed + instance], exactly as
+    the sequential loops always did), so for fixed seeds the returned
+    numbers are {e bit-identical} whether [pool] is absent, has one
+    worker, or has many. *)
 
 type fig1_result = {
   cdf : Cdf.t;  (** the Figure 1 CDF of Φk over all destinations *)
@@ -22,6 +30,7 @@ type bars = (Runner.protocol * float) list
     Figure 2/3. *)
 
 val failure_bars :
+  ?pool:Parallel.t ->
   ?instances:int ->
   ?seed:int ->
   ?mrai_base:float ->
@@ -34,6 +43,7 @@ val failure_bars :
     3(b) and the node-failure variant. *)
 
 val failure_bars_stats :
+  ?pool:Parallel.t ->
   ?instances:int ->
   ?seed:int ->
   ?mrai_base:float ->
@@ -58,6 +68,7 @@ type overhead_result = {
 }
 
 val overhead_and_delay :
+  ?pool:Parallel.t ->
   ?instances:int ->
   ?seed:int ->
   ?mrai_base:float ->
@@ -73,6 +84,7 @@ val partial_deployment : Topology.t -> float
     deployment (paper: ≈ 0.75). Alias of {!Phi.partial_deployment_tier1}. *)
 
 val partial_deployment_dynamic :
+  ?pool:Parallel.t ->
   ?instances:int ->
   ?seed:int ->
   ?mrai_base:float ->
@@ -99,6 +111,7 @@ val partial_deployment_dynamic :
     its motivation on. *)
 
 val ablation_mrai :
+  ?pool:Parallel.t ->
   ?instances:int ->
   ?seed:int ->
   values:float list ->
@@ -111,6 +124,7 @@ val ablation_mrai :
     timer. *)
 
 val ablation_stamp_variants :
+  ?pool:Parallel.t ->
   ?instances:int -> ?seed:int -> Topology.t -> (string * float) list
 (** Average transient count of STAMP variants on the Figure 2 workload:
     the baseline (lock-only blue propagation, random colouring), the
@@ -118,6 +132,7 @@ val ablation_stamp_variants :
     intelligent-colouring variant. *)
 
 val ablation_probe_interval :
+  ?pool:Parallel.t ->
   ?instances:int ->
   ?seed:int ->
   values:float list ->
@@ -127,6 +142,7 @@ val ablation_probe_interval :
     probe interval, measured on BGP: coarser probes miss short windows. *)
 
 val ablation_detection :
+  ?pool:Parallel.t ->
   ?instances:int ->
   ?seed:int ->
   values:float list ->
@@ -143,12 +159,14 @@ val ablation_detection :
     reaction. *)
 
 val ablation_topology :
+  ?pool:Parallel.t ->
   ?instances:int -> ?seed:int -> n:int -> unit -> (string * bars) list
 (** Robustness of the Figure 2 ordering across topology families: the
     single-link bars on the default generator parameters and on sparser /
     denser multi-homing and peering variants (all of size [n]). *)
 
 val motivation_loss_composition :
+  ?pool:Parallel.t ->
   ?instances:int -> ?seed:int -> Topology.t -> (Runner.protocol * float) list
 (** Fraction of packet-loss observations during reconvergence that are
     loops rather than blackholes, per protocol — the paper's Section 1

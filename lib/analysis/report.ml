@@ -107,6 +107,36 @@ let pp_bars_stats ~paper ppf rows =
     rows;
   Format.fprintf ppf "@]"
 
+(* JSON numbers must be finite; the few non-finite values we can produce
+   (e.g. the nan share when a protocol loses no packets) become null. *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.6g" x else "null"
+
+let bars_stats_to_json rows =
+  "["
+  ^ String.concat ", "
+      (List.map
+         (fun (proto, (s : Stat.summary)) ->
+           Printf.sprintf
+             "{\"protocol\": %S, \"mean\": %s, \"stddev\": %s, \"median\": \
+              %s, \"min\": %s, \"max\": %s}"
+             (Runner.protocol_name proto)
+             (json_float s.Stat.mean) (json_float s.Stat.stddev)
+             (json_float s.Stat.median) (json_float s.Stat.min)
+             (json_float s.Stat.max))
+         rows)
+  ^ "]"
+
+let bars_to_json rows =
+  "["
+  ^ String.concat ", "
+      (List.map
+         (fun (proto, avg) ->
+           Printf.sprintf "{\"protocol\": %S, \"mean\": %s}"
+             (Runner.protocol_name proto) (json_float avg))
+         rows)
+  ^ "]"
+
 let bars_to_csv rows =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "protocol,mean,stddev,median,min,max\n";

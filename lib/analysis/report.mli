@@ -33,6 +33,15 @@ val bars_to_csv : (Runner.protocol * Stat.summary) list -> string
 (** The same rows as CSV ([protocol,mean,stddev,median,min,max]) for
     downstream plotting. *)
 
+val bars_stats_to_json : (Runner.protocol * Stat.summary) list -> string
+(** The same rows as a JSON array of per-protocol objects
+    ([protocol/mean/stddev/median/min/max]) — the per-bar payload of the
+    bench harness's [--json] output. Non-finite values render as
+    [null]. *)
+
+val bars_to_json : Experiment.bars -> string
+(** A plain bar group ([protocol/mean]) as a JSON array. *)
+
 val paper_fig2 : (Runner.protocol * float) list
 (** The paper's Figure 2 values (ASes with transient problems, single link
     failure): BGP 6604, R-BGP-no-RCI 2097, R-BGP 0, STAMP 357. *)

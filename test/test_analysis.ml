@@ -151,6 +151,99 @@ let test_runner_node_failure_completes () =
     (fun proto -> ignore (Runner.run proto t spec))
     Runner.all_protocols
 
+(* --- Golden runner values ------------------------------------------------- *)
+
+(* Full Runner.run records on the diamond_plus fixture, every protocol,
+   fixed seed — pinned bit-for-bit (floats included) so that executor
+   changes (e.g. the Parallel domain-pool refit) provably change no
+   numbers. If a deliberate protocol/simulator change moves these values,
+   re-pin them and say so in the commit. *)
+
+let golden_result =
+  Alcotest.testable
+    (fun ppf (r : Runner.result) ->
+      Format.fprintf ppf
+        "{ transient=%d; broken=%d; conv=%.17g; rec=%.17g; mi=%d; me=%d; \
+         cp=%d }"
+        r.Runner.transient_count r.Runner.broken_after
+        r.Runner.convergence_delay r.Runner.recovery_delay
+        r.Runner.messages_initial r.Runner.messages_event r.Runner.checkpoints)
+    ( = )
+
+let golden_expectations =
+  (* (label, event-builder, per-protocol expected record) *)
+  let mk transient_count broken_after convergence_delay recovery_delay
+      messages_initial messages_event checkpoints =
+    {
+      Runner.transient_count;
+      broken_after;
+      convergence_delay;
+      recovery_delay;
+      messages_initial;
+      messages_event;
+      checkpoints;
+    }
+  in
+  [
+    ( "link",
+      (fun vtx -> [ Scenario.Fail_link (vtx 3, vtx 1) ]),
+      [
+        (Runner.Bgp, mk 0 0 0.019184569160348566 0. 9 4 3);
+        (Runner.Rbgp_no_rci, mk 0 0 0.012946428140732227 0. 11 6 3);
+        (Runner.Rbgp, mk 0 0 0.012946428140732227 0. 11 6 3);
+        (Runner.Stamp, mk 0 0 0.034618057854001807 0. 14 10 5);
+      ] );
+    ( "node",
+      (fun vtx -> [ Scenario.Fail_node (vtx 1) ]),
+      [
+        (Runner.Bgp, mk 0 1 0. 0. 9 1 2);
+        (Runner.Rbgp_no_rci, mk 0 1 0. 0. 11 2 3);
+        (Runner.Rbgp, mk 0 1 0. 0. 11 2 3);
+        (Runner.Stamp, mk 0 1 0.04159651006293702 0. 14 6 5);
+      ] );
+  ]
+
+let test_runner_golden () =
+  let topo = Test_support.diamond_plus () in
+  let vtx = Test_support.vtx topo in
+  List.iter
+    (fun (label, events, expected) ->
+      let spec = { Scenario.dest = vtx 3; events = events vtx } in
+      List.iter
+        (fun (protocol, want) ->
+          let got = Runner.run ~seed:42 protocol topo spec in
+          Alcotest.check golden_result
+            (Printf.sprintf "%s/%s" label (Runner.protocol_name protocol))
+            want got)
+        expected)
+    golden_expectations
+
+let test_runner_golden_via_pool () =
+  (* the same pinned records must come out of the domain pool, for any
+     worker count *)
+  let topo = Test_support.diamond_plus () in
+  let vtx = Test_support.vtx topo in
+  List.iter
+    (fun workers ->
+      Parallel.with_pool ~jobs:workers (fun pool ->
+          List.iter
+            (fun (label, events, expected) ->
+              let spec = { Scenario.dest = vtx 3; events = events vtx } in
+              let got =
+                Parallel.map pool
+                  (fun (protocol, _) -> Runner.run ~seed:42 protocol topo spec)
+                  expected
+              in
+              List.iter2
+                (fun (protocol, want) got ->
+                  Alcotest.check golden_result
+                    (Printf.sprintf "jobs=%d %s/%s" workers label
+                       (Runner.protocol_name protocol))
+                    want got)
+                expected got)
+            golden_expectations))
+    [ 1; 4 ]
+
 (* --- Experiments ---------------------------------------------------------- *)
 
 let test_fig1_fields_consistent () =
@@ -222,6 +315,10 @@ let () =
             test_runner_all_protocols_complete;
           Alcotest.test_case "node failure" `Quick
             test_runner_node_failure_completes;
+          Alcotest.test_case "golden values (diamond_plus)" `Quick
+            test_runner_golden;
+          Alcotest.test_case "golden values via pool" `Quick
+            test_runner_golden_via_pool;
         ] );
       ( "experiment",
         [

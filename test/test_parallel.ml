@@ -1,0 +1,272 @@
+(* Tests for the deterministic domain pool: submission-order results,
+   bit-identical parity with the sequential baseline, exception handling,
+   edge cases — and the source-hygiene check that keeps worker code free
+   of the global Random module. *)
+
+let runner_result =
+  Alcotest.testable
+    (fun ppf (r : Runner.result) ->
+      Format.fprintf ppf
+        "{transient=%d; broken=%d; conv=%.17g; rec=%.17g; msgs=%d+%d; cp=%d}"
+        r.Runner.transient_count r.Runner.broken_after
+        r.Runner.convergence_delay r.Runner.recovery_delay
+        r.Runner.messages_initial r.Runner.messages_event r.Runner.checkpoints)
+    ( = )
+
+(* --- pool vs sequential baseline over the shared fixtures -------------- *)
+
+(* Every (fixture, protocol, seed) triple is one independent Runner.run
+   job; the pool must reproduce the plain sequential List.map bit for
+   bit, whatever the worker count. *)
+let runner_jobs () =
+  let diamond = Test_support.diamond () in
+  let chain = Test_support.chain 6 in
+  let fixtures =
+    [
+      (* multi-homed stub loses one provider link *)
+      ( "diamond",
+        diamond,
+        {
+          Scenario.dest = Test_support.vtx diamond 3;
+          events =
+            [
+              Scenario.Fail_link
+                (Test_support.vtx diamond 3, Test_support.vtx diamond 1);
+            ];
+        } );
+      (* mid-chain provider link failure partitions the chain *)
+      ( "chain",
+        chain,
+        {
+          Scenario.dest = Test_support.vtx chain 4;
+          events =
+            [
+              Scenario.Fail_link
+                (Test_support.vtx chain 4, Test_support.vtx chain 3);
+            ];
+        } );
+    ]
+  in
+  List.concat_map
+    (fun (label, topo, spec) ->
+      List.concat_map
+        (fun protocol ->
+          List.map
+            (fun seed ->
+              ( Printf.sprintf "%s/%s/seed=%d" label
+                  (Runner.protocol_name protocol)
+                  seed,
+                fun () -> Runner.run ~seed protocol topo spec ))
+            [ 0; 7 ])
+        Runner.all_protocols)
+    fixtures
+
+let test_pool_matches_sequential () =
+  let jobs = runner_jobs () in
+  let sequential = List.map (fun (_, job) -> job ()) jobs in
+  List.iter
+    (fun workers ->
+      let pooled =
+        Parallel.with_pool ~jobs:workers (fun pool ->
+            Parallel.map pool (fun (_, job) -> job ()) jobs)
+      in
+      List.iter2
+        (fun (label, _) (expected, got) ->
+          Alcotest.check runner_result
+            (Printf.sprintf "jobs=%d %s" workers label)
+            expected got)
+        jobs
+        (List.combine sequential pooled))
+    [ 1; 4 ]
+
+let test_pool_repeated_batches_stable () =
+  (* same pool, same batch twice: identical results both times *)
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let jobs = runner_jobs () in
+      let once = Parallel.map pool (fun (_, job) -> job ()) jobs in
+      let twice = Parallel.map pool (fun (_, job) -> job ()) jobs in
+      Alcotest.(check bool) "identical across batches" true (once = twice))
+
+(* --- exception contract ------------------------------------------------ *)
+
+let test_exception_reraised_rest_completes () =
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let n = 16 in
+      let ran = Array.make n false in
+      let thunks =
+        Array.init n (fun i () ->
+            ran.(i) <- true;
+            if i = 3 then failwith "boom3";
+            if i = 11 then failwith "boom11";
+            i)
+      in
+      (match Parallel.run_batch pool thunks with
+      | _ -> Alcotest.fail "expected the job's exception"
+      | exception Failure msg ->
+        Alcotest.(check string) "lowest-indexed failure wins" "boom3" msg);
+      Alcotest.(check bool) "every job still ran" true (Array.for_all Fun.id ran);
+      (* the pool survives a failing batch *)
+      let r = Parallel.run_batch pool (Array.init 5 (fun i () -> i * i)) in
+      Alcotest.(check (array int)) "pool usable afterwards"
+        [| 0; 1; 4; 9; 16 |] r)
+
+let test_reentrant_submit_rejected () =
+  Parallel.with_pool ~jobs:2 (fun pool ->
+      match
+        Parallel.run_batch pool
+          [| (fun () -> Parallel.run_batch pool [| (fun () -> 0) |]) |]
+      with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_shutdown () =
+  let pool = Parallel.create ~jobs:3 () in
+  Parallel.shutdown pool;
+  Parallel.shutdown pool;
+  (* idempotent *)
+  match Parallel.run_batch pool [| (fun () -> 0) |] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- edge cases -------------------------------------------------------- *)
+
+let test_empty_batch () =
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Parallel.run_batch pool [||]);
+      Alcotest.(check (list int)) "empty map" [] (Parallel.map pool succ []))
+
+let test_fewer_jobs_than_workers () =
+  Parallel.with_pool ~jobs:8 (fun pool ->
+      Alcotest.(check (list int)) "3 jobs on 8 workers" [ 1; 2; 3 ]
+        (Parallel.map pool succ [ 0; 1; 2 ]))
+
+let test_jobs_clamped () =
+  Parallel.with_pool ~jobs:0 (fun pool ->
+      Alcotest.(check int) "clamped to 1" 1 (Parallel.jobs pool);
+      Alcotest.(check (list int)) "still works" [ 10 ]
+        (Parallel.map pool (fun x -> x * 10) [ 1 ]))
+
+let test_submission_order_and_mapi () =
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 100 (fun i -> i) in
+      Alcotest.(check (list int)) "order preserved" xs (Parallel.map pool Fun.id xs);
+      Alcotest.(check (list (pair int string)))
+        "mapi passes submission index"
+        (List.map (fun i -> (i, string_of_int i)) xs)
+        (Parallel.mapi pool (fun i x -> (i, string_of_int x)) xs))
+
+let test_map_reduce_order () =
+  (* string concatenation is non-commutative: any out-of-order reduce
+     would be caught here *)
+  let xs = List.init 50 string_of_int in
+  let expected = String.concat "," xs in
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let got =
+        Parallel.map_reduce pool ~map:Fun.id
+          ~reduce:(fun acc s -> if acc = "" then s else acc ^ "," ^ s)
+          ~init:"" xs
+      in
+      Alcotest.(check string) "in submission order" expected got)
+
+(* --- source hygiene: no global Random in lib/ -------------------------- *)
+
+(* The determinism contract of Parallel/Experiment rests on every piece
+   of worker-reachable code deriving its randomness from an explicit
+   Random.State (Sim.rng or a seeded state). The global Random module is
+   domain-local in OCaml 5, so a stray Random.int would not crash — it
+   would silently produce worker-count-dependent numbers. Fail the build
+   instead. [test/dune] declares (source_tree ../lib) so the sources are
+   present in the build directory. *)
+let forbidden_random_calls =
+  [
+    "Random.int";
+    "Random.float";
+    "Random.bool";
+    "Random.bits";
+    "Random.full_int";
+    "Random.self_init";
+  ]
+
+let rec source_files acc dir =
+  Array.fold_left
+    (fun acc entry ->
+      if entry = "" || entry.[0] = '.' then acc
+      else
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then source_files acc path
+        else if
+          Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+        then path :: acc
+        else acc)
+    acc (Sys.readdir dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_no_global_random_in_lib () =
+  (* "../lib" under dune runtest (cwd = _build/default/test); "lib" when
+     the executable is run from the workspace root via dune exec *)
+  let lib_dir =
+    List.find_opt Sys.file_exists [ "../lib"; "lib"; "_build/default/lib" ]
+  in
+  let lib_dir =
+    match lib_dir with
+    | Some d -> d
+    | None ->
+      Alcotest.fail "lib sources not found (missing source_tree dep in test/dune?)"
+  in
+  let files = source_files [] lib_dir in
+  Alcotest.(check bool) "found library sources" true (List.length files > 50);
+  let offenders =
+    List.concat_map
+      (fun path ->
+        let content = read_file path in
+        List.filter_map
+          (fun pattern ->
+            if Astring.String.is_infix ~affix:pattern content then
+              Some (path ^ ": " ^ pattern)
+            else None)
+          forbidden_random_calls)
+      files
+  in
+  if offenders <> [] then
+    Alcotest.failf "global Random usage in lib/ (use Random.State):\n%s"
+      (String.concat "\n" offenders)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "pool = sequential (jobs 1 and 4)" `Quick
+            test_pool_matches_sequential;
+          Alcotest.test_case "repeated batches stable" `Quick
+            test_pool_repeated_batches_stable;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "re-raised, batch completes" `Quick
+            test_exception_reraised_rest_completes;
+          Alcotest.test_case "re-entrant submit rejected" `Quick
+            test_reentrant_submit_rejected;
+          Alcotest.test_case "shutdown" `Quick test_shutdown;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "empty batch" `Quick test_empty_batch;
+          Alcotest.test_case "fewer jobs than workers" `Quick
+            test_fewer_jobs_than_workers;
+          Alcotest.test_case "jobs clamped to 1" `Quick test_jobs_clamped;
+          Alcotest.test_case "submission order / mapi" `Quick
+            test_submission_order_and_mapi;
+          Alcotest.test_case "map_reduce order" `Quick test_map_reduce_order;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "no global Random in lib/" `Quick
+            test_no_global_random_in_lib;
+        ] );
+    ]

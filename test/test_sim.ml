@@ -99,6 +99,83 @@ let test_sim_deterministic_rng () =
   Alcotest.(check (float 0.)) "same seed" (draw 9) (draw 9);
   Alcotest.(check bool) "different seed" true (draw 9 <> draw 10)
 
+(* The determinism contract in sim.mli rests on two kernel invariants:
+   same-timestamp events fire in schedule order (FIFO ties, inherited
+   from Event_heap but re-checked through the Sim API), and the
+   processed/pending accounting stays exact under any interleaving of
+   schedule, step and bounded run calls. *)
+
+let prop_sim_fifo_same_time =
+  Test_support.qtest "same-timestamp events fire in schedule order"
+    QCheck2.Gen.(list_size (int_range 1 120) (int_range 0 3))
+    QCheck2.Print.(list int)
+    (fun buckets ->
+      (* few distinct times over many events: ties are the common case *)
+      let sim = Sim.create () in
+      let log = ref [] in
+      List.iteri
+        (fun i b ->
+          Sim.schedule sim
+            ~delay:(float_of_int b /. 10.)
+            (fun _ -> log := (b, i) :: !log))
+        buckets;
+      Sim.run sim;
+      let fired = List.rev !log in
+      let expected =
+        (* stable sort by time keeps schedule order within each tie *)
+        List.stable_sort
+          (fun (b1, _) (b2, _) -> compare b1 b2)
+          (List.mapi (fun i b -> (b, i)) buckets)
+      in
+      fired = expected)
+
+type sim_op = Op_schedule of int | Op_step | Op_run_until of int
+
+let print_sim_op = function
+  | Op_schedule b -> Printf.sprintf "schedule(%d)" b
+  | Op_step -> "step"
+  | Op_run_until b -> Printf.sprintf "run_until(+%d)" b
+
+let prop_sim_counters_consistent =
+  Test_support.qtest
+    "events_processed + pending = scheduled under any interleaving"
+    QCheck2.Gen.(
+      list_size (int_range 1 80)
+        (oneof
+           [
+             map (fun b -> Op_schedule b) (int_range 0 20);
+             return Op_step;
+             map (fun b -> Op_run_until b) (int_range 0 10);
+           ]))
+    QCheck2.Print.(list print_sim_op)
+    (fun ops ->
+      let sim = Sim.create () in
+      let scheduled = ref 0 in
+      let ok = ref true in
+      let last_now = ref (Sim.now sim) in
+      let check () =
+        ok :=
+          !ok
+          && Sim.events_processed sim + Sim.pending sim = !scheduled
+          && Sim.now sim >= !last_now;
+        last_now := Sim.now sim
+      in
+      List.iter
+        (fun op ->
+          (match op with
+          | Op_schedule b ->
+            (* schedule relative to now: never in the past *)
+            Sim.schedule sim ~delay:(float_of_int b /. 7.) (fun _ -> ());
+            incr scheduled
+          | Op_step -> ignore (Sim.step sim)
+          | Op_run_until b ->
+            Sim.run ~until:(Sim.now sim +. (float_of_int b /. 3.)) sim);
+          check ())
+        ops;
+      Sim.run sim;
+      check ();
+      !ok && Sim.pending sim = 0 && Sim.events_processed sim = !scheduled)
+
 (* --- Channel ----------------------------------------------------------- *)
 
 let test_channel_delay_bounds () =
@@ -176,6 +253,8 @@ let () =
           Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
           Alcotest.test_case "schedule_at past" `Quick test_sim_schedule_at_past;
           Alcotest.test_case "deterministic rng" `Quick test_sim_deterministic_rng;
+          prop_sim_fifo_same_time;
+          prop_sim_counters_consistent;
         ] );
       ( "channel",
         [
