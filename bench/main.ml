@@ -21,6 +21,8 @@ type config = {
   csv_dir : string option;
   jobs : int;
   json : string option;
+  max_events : int;
+  max_vtime : float;
 }
 
 let default_config =
@@ -33,14 +35,20 @@ let default_config =
     csv_dir = None;
     jobs = Parallel.default_jobs ();
     json = None;
+    max_events = Runner.default_budget.Runner.max_events;
+    max_vtime = Runner.default_budget.Runner.max_vtime;
   }
+
+let budget cfg =
+  { Runner.max_events = cfg.max_events; max_vtime = cfg.max_vtime }
 
 let usage () =
   prerr_endline
     "usage: main.exe [fig1|fig2|fig3a|fig3b|node|policy|partial|overhead|delay|\n\
-    \                 ablation|motivation|smoke|all|micro]\n\
+    \                 flap|churn|ablation|motivation|smoke|all|micro]\n\
     \                [--n N] [--instances I] [--seed S] [--samples K] [--mrai M]\n\
-    \                [--csv DIR] [--jobs N] [--json FILE]";
+    \                [--csv DIR] [--jobs N] [--json FILE]\n\
+    \                [--max-events N] [--max-vtime SECONDS]";
   exit 2
 
 let parse_args () =
@@ -68,6 +76,12 @@ let parse_args () =
       loop rest
     | "--jobs" :: v :: rest ->
       cfg := { !cfg with jobs = int_of_string v };
+      loop rest
+    | "--max-events" :: v :: rest ->
+      cfg := { !cfg with max_events = int_of_string v };
+      loop rest
+    | "--max-vtime" :: v :: rest ->
+      cfg := { !cfg with max_vtime = float_of_string v };
       loop rest
     | "--json" :: v :: rest ->
       (* fail now, not after a long sweep whose results would be lost *)
@@ -347,6 +361,36 @@ let motivation pool cfg =
   in
   record_target "motivation" wall
 
+(* --- churn workloads --------------------------------------------------- *)
+
+let churn_target pool cfg ~name ~title scenario =
+  section title;
+  let sweep, wall =
+    timed (fun () ->
+        let ((_, summaries) as sweep) =
+          Experiment.churn_sweep ~pool
+            ~instances:(max 4 (cfg.instances / 3))
+            ~seed:cfg.seed ~mrai_base:cfg.mrai ~budget:(budget cfg) ~scenario
+            (topology cfg)
+        in
+        Format.printf "%a@." Report.pp_churn summaries;
+        sweep)
+  in
+  record_target name wall ~bars:(Report.churn_to_json sweep)
+
+let flap pool cfg =
+  churn_target pool cfg ~name:"flap"
+    ~title:
+      "Flapping: one origin provider link fails/recovers 5 times (60s period)"
+    (Scenario.flap ~period:60. ~count:5)
+
+let churn pool cfg =
+  churn_target pool cfg ~name:"churn"
+    ~title:
+      "Churn: Poisson link fail/recover stream in the origin's cone (rate \
+       0.05/s over 600s)"
+    (Scenario.churn ~rate:0.05 ~duration:600.)
+
 (* --- smoke: the dune-runtest fast path --------------------------------- *)
 
 (* Tiny topology, two instances: exercises the domain pool on every
@@ -376,6 +420,34 @@ let smoke pool cfg =
   end;
   Format.printf "smoke OK: jobs=%d bit-identical to sequential@."
     (Parallel.jobs pool);
+  (* watchdog wiring check: a churn sweep under a deliberately tiny event
+     budget must complete (no hang, no abort) with every instance reporting
+     an event-budget-exhausted verdict *)
+  let _, summaries =
+    Experiment.churn_sweep ~pool ~instances:2 ~seed:cfg.seed
+      ~mrai_base:cfg.mrai
+      ~budget:{ Runner.max_events = 50; max_vtime = 86_400. }
+      ~scenario:(Scenario.flap ~period:60. ~count:3)
+      topo
+  in
+  List.iter
+    (fun (s : Experiment.churn_summary) ->
+      if s.crashed > 0 || s.completed <> 2 || s.event_budget_exhausted <> 2
+      then begin
+        Format.eprintf
+          "smoke: FAIL — %s: expected 2 event-budget-exhausted verdicts, got \
+           completed=%d crashed=%d ev-budget=%d@."
+          (Runner.protocol_name s.protocol)
+          s.completed s.crashed s.event_budget_exhausted;
+        exit 1
+      end)
+    summaries;
+  Format.printf "smoke OK: tiny-budget churn sweep recorded %d \
+                 event-budget-exhausted verdicts@."
+    (List.fold_left
+       (fun acc (s : Experiment.churn_summary) ->
+         acc + s.event_budget_exhausted)
+       0 summaries);
   record_target "smoke" wall ~bars:(Report.bars_stats_to_json par)
 
 (* --- Bechamel micro-benchmarks ---------------------------------------- *)
@@ -472,6 +544,8 @@ let () =
       | "overhead" | "delay" -> overhead_delay pool cfg
       | "ablation" -> ablation pool cfg
       | "motivation" -> motivation pool cfg
+      | "flap" -> flap pool cfg
+      | "churn" -> churn pool cfg
       | "smoke" -> smoke pool cfg
       | "micro" -> micro cfg
       | "all" ->
@@ -484,6 +558,8 @@ let () =
         partial pool cfg;
         overhead_delay pool cfg;
         motivation pool cfg;
+        flap pool cfg;
+        churn pool cfg;
         ablation pool cfg
       | _ -> usage ());
       write_json cfg)

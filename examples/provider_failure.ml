@@ -46,7 +46,7 @@ let () =
     List.iter
       (function
         | Scenario.Fail_link (u, v) -> net_fail u v
-        | Scenario.Fail_node _ | Scenario.Deny_export _ -> assert false)
+        | _ -> assert false (* single_link only emits link failures *))
       spec.Scenario.events
   in
   let rows =

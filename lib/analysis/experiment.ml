@@ -295,6 +295,93 @@ let motivation_loss_composition ?pool ?(instances = 15) ?(seed = 1) topo =
       (protocol, share))
     Runner.all_protocols (chunks instances summaries)
 
+(* --- churn sweeps ------------------------------------------------------ *)
+
+type churn_row = {
+  row_protocol : Runner.protocol;
+  instance : int;
+  job_seed : int;
+  outcome : (Runner.result, string) result;
+}
+
+type churn_summary = {
+  protocol : Runner.protocol;
+  completed : int;
+  crashed : int;
+  converged : int;
+  event_budget_exhausted : int;
+  time_budget_exhausted : int;
+  avg_transients : float;
+  avg_messages_event : float;
+}
+
+(* Like [pmap] but a crashing job becomes an [Error] row: churn workloads
+   deliberately stress-test the engines, and one bad instance must not
+   abort the sweep. *)
+let ptry_map ?pool f xs =
+  match pool with
+  | None -> List.map (fun x -> match f x with v -> Ok v | exception e -> Error e) xs
+  | Some pool -> Parallel.try_map pool f xs
+
+let churn_sweep ?pool ?(instances = 10) ?(seed = 1) ?(mrai_base = 30.)
+    ?(interval = 0.02) ?(budget = Runner.default_budget) ~scenario topo =
+  let st = Random.State.make [| seed |] in
+  let specs = List.init instances (fun i -> (i, scenario st topo)) in
+  let jobs =
+    List.concat_map
+      (fun protocol -> List.map (fun (i, s) -> (protocol, i, s)) specs)
+      Runner.all_protocols
+  in
+  let outcomes =
+    ptry_map ?pool
+      (fun (protocol, i, spec) ->
+        Runner.run ~seed:(seed + i) ~mrai_base ~interval ~budget protocol topo
+          spec)
+      jobs
+  in
+  let rows =
+    List.map2
+      (fun (protocol, i, _) outcome ->
+        {
+          row_protocol = protocol;
+          instance = i;
+          job_seed = seed + i;
+          outcome = Result.map_error Printexc.to_string outcome;
+        })
+      jobs outcomes
+  in
+  let summaries =
+    List.map
+      (fun protocol ->
+        let mine = List.filter (fun r -> r.row_protocol = protocol) rows in
+        let ok = List.filter_map (fun r -> Result.to_option r.outcome) mine in
+        let count v =
+          List.length
+            (List.filter
+               (fun (r : Runner.result) -> Sim.equal_verdict r.verdict v)
+               ok)
+        in
+        let favg f =
+          if ok = [] then nan else Stat.mean (List.map f ok)
+        in
+        {
+          protocol;
+          completed = List.length ok;
+          crashed = List.length mine - List.length ok;
+          converged = count Sim.Converged;
+          event_budget_exhausted = count Sim.Event_budget_exhausted;
+          time_budget_exhausted = count Sim.Time_budget_exhausted;
+          avg_transients =
+            favg (fun (r : Runner.result) ->
+                float_of_int r.Runner.transient_count);
+          avg_messages_event =
+            favg (fun (r : Runner.result) ->
+                float_of_int r.Runner.messages_event);
+        })
+      Runner.all_protocols
+  in
+  (rows, summaries)
+
 let ablation_topology ?pool ?(instances = 8) ?(seed = 1) ~n () =
   let base = Topo_gen.default_params ~seed ~n () in
   let variants =

@@ -165,6 +165,52 @@ val ablation_topology :
     single-link bars on the default generator parameters and on sparser /
     denser multi-homing and peering variants (all of size [n]). *)
 
+(** {1 Churn sweeps}
+
+    Repeated-event workloads (flapping links, sustained churn) stress the
+    watchdog layer: every instance runs under a {!Runner.budget} and the
+    sweep reports per-instance verdicts instead of aborting when one
+    instance exhausts its budget or crashes. *)
+
+type churn_row = {
+  row_protocol : Runner.protocol;
+  instance : int;  (** scenario-instance index within the sweep *)
+  job_seed : int;  (** the seed the job actually ran with *)
+  outcome : (Runner.result, string) result;
+      (** [Error] carries the printed exception of a crashed job; budget
+          kills are [Ok] rows with a non-[Converged] verdict *)
+}
+
+type churn_summary = {
+  protocol : Runner.protocol;
+  completed : int;  (** instances that produced a result *)
+  crashed : int;  (** instances whose job raised *)
+  converged : int;
+  event_budget_exhausted : int;
+  time_budget_exhausted : int;  (** verdict tallies over completed rows *)
+  avg_transients : float;
+      (** mean transient-AS count over completed rows ([nan] if none) *)
+  avg_messages_event : float;
+      (** mean update messages during the event phase ([nan] if none) *)
+}
+
+val churn_sweep :
+  ?pool:Parallel.t ->
+  ?instances:int ->
+  ?seed:int ->
+  ?mrai_base:float ->
+  ?interval:float ->
+  ?budget:Runner.budget ->
+  scenario:(Random.State.t -> Topology.t -> Scenario.spec) ->
+  Topology.t ->
+  churn_row list * churn_summary list
+(** Run every protocol on [instances] sampled scenarios (default 10) under
+    [budget] (default {!Runner.default_budget}), capturing per-job crashes
+    and budget verdicts into the rows; the per-protocol summaries tally
+    verdicts and average the usual metrics over completed rows. Pair with
+    {!Scenario.flap} or {!Scenario.churn}. Same determinism contract as
+    the other sweeps. *)
+
 val motivation_loss_composition :
   ?pool:Parallel.t ->
   ?instances:int -> ?seed:int -> Topology.t -> (Runner.protocol * float) list

@@ -69,7 +69,9 @@ let pp_bars_plain ppf (bars : Experiment.bars) =
 
 let pp_overhead ppf rows =
   let bgp =
-    List.find (fun r -> r.Experiment.protocol = Runner.Bgp) rows
+    List.find
+      (fun (r : Experiment.overhead_result) -> r.protocol = Runner.Bgp)
+      rows
   in
   Format.fprintf ppf "@[<v>%-20s %14s %12s %12s %12s %12s@," "protocol"
     "msgs(initial)" "vs BGP" "msgs(event)" "quiesce(s)" "recover(s)";
@@ -136,6 +138,52 @@ let bars_to_json rows =
              (Runner.protocol_name proto) (json_float avg))
          rows)
   ^ "]"
+
+let pp_churn ppf (summaries : Experiment.churn_summary list) =
+  Format.fprintf ppf "@[<v>%-20s %10s %8s %10s %10s %10s %12s %12s@,"
+    "protocol" "completed" "crashed" "converged" "ev-budget" "vt-budget"
+    "transients" "msgs(event)";
+  List.iter
+    (fun (s : Experiment.churn_summary) ->
+      Format.fprintf ppf "%-20s %10d %8d %10d %10d %10d %12.1f %12.1f@,"
+        (Runner.protocol_name s.protocol)
+        s.completed s.crashed s.converged s.event_budget_exhausted
+        s.time_budget_exhausted s.avg_transients s.avg_messages_event)
+    summaries;
+  Format.fprintf ppf
+    "(verdict tallies: ev-budget = event budget exhausted, vt-budget = \
+     simulated-time budget exhausted)@]"
+
+let churn_to_json (rows, summaries) =
+  let row_json (r : Experiment.churn_row) =
+    let outcome =
+      match r.outcome with
+      | Ok (res : Runner.result) ->
+        Printf.sprintf
+          "\"verdict\": %S, \"transient_count\": %d, \"broken_after\": %d, \
+           \"messages_event\": %d"
+          (Sim.verdict_name res.verdict)
+          res.transient_count res.broken_after res.messages_event
+      | Error msg -> Printf.sprintf "\"error\": %S" msg
+    in
+    Printf.sprintf "{\"protocol\": %S, \"instance\": %d, \"seed\": %d, %s}"
+      (Runner.protocol_name r.row_protocol)
+      r.instance r.job_seed outcome
+  in
+  let summary_json (s : Experiment.churn_summary) =
+    Printf.sprintf
+      "{\"protocol\": %S, \"completed\": %d, \"crashed\": %d, \"converged\": \
+       %d, \"event_budget_exhausted\": %d, \"time_budget_exhausted\": %d, \
+       \"avg_transients\": %s, \"avg_messages_event\": %s}"
+      (Runner.protocol_name s.protocol)
+      s.completed s.crashed s.converged s.event_budget_exhausted
+      s.time_budget_exhausted
+      (json_float s.avg_transients)
+      (json_float s.avg_messages_event)
+  in
+  Printf.sprintf "{\"rows\": [%s], \"summary\": [%s]}"
+    (String.concat ", " (List.map row_json rows))
+    (String.concat ", " (List.map summary_json summaries))
 
 let bars_to_csv rows =
   let buf = Buffer.create 256 in

@@ -29,6 +29,16 @@ val pp_bars_stats :
 val pp_overhead : Format.formatter -> Experiment.overhead_result list -> unit
 (** Section 6.3 message-overhead and convergence-delay table. *)
 
+val pp_churn : Format.formatter -> Experiment.churn_summary list -> unit
+(** Per-protocol churn-sweep table: completed/crashed counts, verdict
+    tallies and the averaged metrics over completed instances. *)
+
+val churn_to_json :
+  Experiment.churn_row list * Experiment.churn_summary list -> string
+(** The full churn sweep as one JSON object: per-instance rows (protocol,
+    instance, seed, verdict or error) and the per-protocol summary with
+    verdict tallies. *)
+
 val bars_to_csv : (Runner.protocol * Stat.summary) list -> string
 (** The same rows as CSV ([protocol,mean,stddev,median,min,max]) for
     downstream plotting. *)

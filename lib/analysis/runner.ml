@@ -8,6 +8,14 @@ let protocol_name = function
   | Rbgp -> "R-BGP"
   | Stamp -> "STAMP"
 
+type budget = { max_events : int; max_vtime : float }
+
+(* Generous enough that no paper workload ever hits it: the figure
+   experiments converge within minutes of simulated time and well under a
+   million events, so existing numbers are untouched — the budget exists to
+   kill pathological instances, not to shape healthy ones. *)
+let default_budget = { max_events = 50_000_000; max_vtime = 86_400. }
+
 type result = {
   transient_count : int;
   broken_after : int;
@@ -16,6 +24,7 @@ type result = {
   messages_initial : int;
   messages_event : int;
   checkpoints : int;
+  verdict : Sim.verdict;
 }
 
 (* The per-protocol operations the driver needs, bundled as a record of
@@ -25,6 +34,9 @@ type driver = {
   fail_link : Topology.vertex -> Topology.vertex -> unit;
   fail_node : Topology.vertex -> unit;
   deny_export : Topology.vertex -> Topology.vertex -> unit;
+  recover_link : Topology.vertex -> Topology.vertex -> unit;
+  recover_node : Topology.vertex -> unit;
+  allow_export : Topology.vertex -> Topology.vertex -> unit;
   probe : unit -> Fwd_walk.status array;
   messages : unit -> int;
   last_change : unit -> float;
@@ -40,6 +52,9 @@ let make_driver ~seed ~mrai_base ?(detect_delay = 0.) protocol sim topo ~dest
       fail_link = (fun u v -> Bgp_net.fail_link ~detect_delay net u v);
       fail_node = Bgp_net.fail_node net;
       deny_export = Bgp_net.deny_export net;
+      recover_link = Bgp_net.recover_link net;
+      recover_node = Bgp_net.recover_node net;
+      allow_export = Bgp_net.allow_export net;
       probe = (fun () -> Bgp_net.walk_all net);
       messages = (fun () -> Bgp_net.message_count net);
       last_change = (fun () -> Bgp_net.last_change net);
@@ -52,6 +67,9 @@ let make_driver ~seed ~mrai_base ?(detect_delay = 0.) protocol sim topo ~dest
       fail_link = (fun u v -> Rbgp_net.fail_link ~detect_delay net u v);
       fail_node = Rbgp_net.fail_node net;
       deny_export = Rbgp_net.deny_export net;
+      recover_link = Rbgp_net.recover_link net;
+      recover_node = Rbgp_net.recover_node net;
+      allow_export = Rbgp_net.allow_export net;
       probe = (fun () -> Rbgp_net.walk_all net);
       messages = (fun () -> Rbgp_net.message_count net);
       last_change = (fun () -> Rbgp_net.last_change net);
@@ -64,6 +82,9 @@ let make_driver ~seed ~mrai_base ?(detect_delay = 0.) protocol sim topo ~dest
       fail_link = (fun u v -> Stamp_net.fail_link ~detect_delay net u v);
       fail_node = Stamp_net.fail_node net;
       deny_export = Stamp_net.deny_export net;
+      recover_link = Stamp_net.recover_link net;
+      recover_node = Stamp_net.recover_node net;
+      allow_export = Stamp_net.allow_export net;
       probe = (fun () -> Stamp_net.walk_all net);
       messages = (fun () -> Stamp_net.message_count net);
       last_change = (fun () -> Stamp_net.last_change net);
@@ -81,60 +102,117 @@ let make_stamp_driver ~seed ~mrai_base ?(detect_delay = 0.)
       fail_link = (fun u v -> Stamp_net.fail_link ~detect_delay net u v);
       fail_node = Stamp_net.fail_node net;
       deny_export = Stamp_net.deny_export net;
+      recover_link = Stamp_net.recover_link net;
+      recover_node = Stamp_net.recover_node net;
+      allow_export = Stamp_net.allow_export net;
       probe = (fun () -> Stamp_net.walk_all net);
       messages = (fun () -> Stamp_net.message_count net);
       last_change = (fun () -> Stamp_net.last_change net);
     }
 
-let measure ~interval (spec : Scenario.spec) sim (d : driver) =
+(* Apply one scenario event through the driver; [At] defers the inner event
+   on the simulation clock, so churn streams interleave with the
+   protocol's own reaction. *)
+let rec inject (d : driver) sim = function
+  | Scenario.Fail_link (u, v) -> d.fail_link u v
+  | Scenario.Fail_node v -> d.fail_node v
+  | Scenario.Deny_export (u, v) -> d.deny_export u v
+  | Scenario.Recover_link (u, v) -> d.recover_link u v
+  | Scenario.Recover_node v -> d.recover_node v
+  | Scenario.Allow_export (u, v) -> d.allow_export u v
+  | Scenario.At (dt, e) -> Sim.schedule sim ~delay:dt (fun _ -> inject d sim e)
+
+let measure ~interval ~budget (spec : Scenario.spec) sim (d : driver) =
   d.start ();
-  Sim.run sim;
+  let initial_verdict =
+    Sim.run_guarded sim ~until:budget.max_vtime ~max_events:budget.max_events
+  in
   let messages_initial = d.messages () in
   let event_time = Sim.now sim in
-  List.iter
-    (function
-      | Scenario.Fail_link (u, v) -> d.fail_link u v
-      | Scenario.Fail_node v -> d.fail_node v
-      | Scenario.Deny_export (u, v) -> d.deny_export u v)
-    spec.events;
-  let outcome = Transient.run sim ~interval ~probe:d.probe () in
-  let broken_after =
-    Array.fold_left
-      (fun acc s ->
-        if Fwd_walk.equal_status s Fwd_walk.Delivered then acc else acc + 1)
-      0 outcome.final
-  in
-  {
-    transient_count = Transient.transient_count outcome;
-    broken_after;
-    convergence_delay = Float.max 0. (d.last_change () -. event_time);
-    recovery_delay = Float.max 0. (outcome.last_status_change -. event_time);
-    messages_initial;
-    messages_event = d.messages () - messages_initial;
-    checkpoints = outcome.checkpoints;
-  }
+  match initial_verdict with
+  | Sim.Event_budget_exhausted | Sim.Time_budget_exhausted ->
+    (* initial convergence never finished: report what we can see and let
+       the verdict flag the row — the sweep goes on *)
+    let final = d.probe () in
+    let broken =
+      Array.fold_left
+        (fun acc s ->
+          if Fwd_walk.equal_status s Fwd_walk.Delivered then acc else acc + 1)
+        0 final
+    in
+    {
+      transient_count = 0;
+      broken_after = broken;
+      convergence_delay = 0.;
+      recovery_delay = 0.;
+      messages_initial;
+      messages_event = 0;
+      checkpoints = 1;
+      verdict = initial_verdict;
+    }
+  | Sim.Converged ->
+    List.iter (inject d sim) spec.events;
+    let remaining_events = budget.max_events - Sim.events_processed sim in
+    let outcome, verdict =
+      Transient.run_guarded sim ~interval ~max_events:(max 1 remaining_events)
+        ~max_vtime:(event_time +. budget.max_vtime)
+        ~probe:d.probe ()
+    in
+    let broken_after =
+      Array.fold_left
+        (fun acc s ->
+          if Fwd_walk.equal_status s Fwd_walk.Delivered then acc else acc + 1)
+        0 outcome.final
+    in
+    {
+      transient_count = Transient.transient_count outcome;
+      broken_after;
+      convergence_delay = Float.max 0. (d.last_change () -. event_time);
+      recovery_delay = Float.max 0. (outcome.last_status_change -. event_time);
+      messages_initial;
+      messages_event = d.messages () - messages_initial;
+      checkpoints = outcome.checkpoints;
+      verdict;
+    }
 
 let run ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02) ?(detect_delay = 0.)
-    protocol topo (spec : Scenario.spec) =
+    ?(budget = default_budget) protocol topo (spec : Scenario.spec) =
   let sim = Sim.create ~seed () in
   let d =
     make_driver ~seed ~mrai_base ~detect_delay protocol sim topo
       ~dest:spec.dest
   in
-  measure ~interval spec sim d
+  measure ~interval ~budget spec sim d
 
 let run_stamp ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
-    ?(spread_unlocked_blue = false) ?(strategy = Coloring.Random_choice) topo
-    (spec : Scenario.spec) =
+    ?(spread_unlocked_blue = false) ?(strategy = Coloring.Random_choice)
+    ?(budget = default_budget) topo (spec : Scenario.spec) =
   let sim = Sim.create ~seed () in
   let d =
     make_stamp_driver ~seed ~mrai_base ~spread_unlocked_blue ~strategy sim topo
       ~dest:spec.dest
   in
-  measure ~interval spec sim d
+  measure ~interval ~budget spec sim d
 
-let run_hybrid ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02) ~deployed
-    topo (spec : Scenario.spec) =
+(* The hybrid engine models link failure and recovery only (no node or
+   policy machinery at legacy ASes). *)
+let rec hybrid_supported = function
+  | Scenario.Fail_link _ | Scenario.Recover_link _ -> true
+  | Scenario.At (_, e) -> hybrid_supported e
+  | Scenario.Fail_node _ | Scenario.Recover_node _ | Scenario.Deny_export _
+  | Scenario.Allow_export _ ->
+    false
+
+let run_hybrid ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
+    ?(budget = default_budget) ~deployed topo (spec : Scenario.spec) =
+  (* reject unsupported events before any simulation work runs, naming the
+     offending scenario *)
+  if not (List.for_all hybrid_supported spec.events) then
+    invalid_arg
+      (Format.asprintf
+         "Runner.run_hybrid: unsupported event in scenario [%a] — only link \
+          failure/recovery events are supported"
+         (Scenario.pp_spec topo) spec);
   let sim = Sim.create ~seed () in
   let net =
     Hybrid_net.create sim topo ~dest:spec.dest ~deployed ~mrai_base ()
@@ -147,23 +225,29 @@ let run_hybrid ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02) ~deployed
         (fun _ -> invalid_arg "Runner.run_hybrid: node failures unsupported");
       deny_export =
         (fun _ _ -> invalid_arg "Runner.run_hybrid: policy events unsupported");
+      recover_link = Hybrid_net.recover_link net;
+      recover_node =
+        (fun _ -> invalid_arg "Runner.run_hybrid: node recovery unsupported");
+      allow_export =
+        (fun _ _ -> invalid_arg "Runner.run_hybrid: policy events unsupported");
       probe = (fun () -> Hybrid_net.walk_all net);
       messages = (fun () -> Hybrid_net.message_count net);
       last_change = (fun () -> Hybrid_net.last_change net);
     }
   in
-  measure ~interval spec sim d
+  measure ~interval ~budget spec sim d
 
-let run_traffic ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02) protocol topo
-    (spec : Scenario.spec) =
+let run_traffic ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
+    ?(budget = default_budget) protocol topo (spec : Scenario.spec) =
   let sim = Sim.create ~seed () in
   let d = make_driver ~seed ~mrai_base protocol sim topo ~dest:spec.dest in
   d.start ();
-  Sim.run sim;
-  List.iter
-    (function
-      | Scenario.Fail_link (u, v) -> d.fail_link u v
-      | Scenario.Fail_node v -> d.fail_node v
-      | Scenario.Deny_export (u, v) -> d.deny_export u v)
-    spec.events;
-  Traffic.observe sim ~interval ~probe:d.probe ()
+  ignore
+    (Sim.run_guarded sim ~until:budget.max_vtime ~max_events:budget.max_events);
+  let event_time = Sim.now sim in
+  List.iter (inject d sim) spec.events;
+  let remaining_events = budget.max_events - Sim.events_processed sim in
+  Traffic.observe sim ~interval
+    ~max_events:(max 1 remaining_events)
+    ~max_vtime:(event_time +. budget.max_vtime)
+    ~probe:d.probe ()

@@ -1,5 +1,10 @@
 (** Uniform driver: run one (protocol, scenario) pair to convergence and
-    measure transient problems, convergence delay and message overhead. *)
+    measure transient problems, convergence delay and message overhead.
+
+    Every entry point is guarded by a {!budget}: no run can hang on a
+    diverging or churn-saturated instance — it terminates with a
+    non-{!Sim.Converged} verdict instead, and sweeps report the row with
+    partial data. *)
 
 type protocol = Bgp | Rbgp_no_rci | Rbgp | Stamp
 
@@ -7,6 +12,19 @@ val all_protocols : protocol list
 (** In the paper's bar order: BGP, R-BGP without RCI, R-BGP, STAMP. *)
 
 val protocol_name : protocol -> string
+
+type budget = {
+  max_events : int;  (** whole-run cap on simulation events processed *)
+  max_vtime : float;
+      (** per-phase cap on simulated seconds: initial convergence may use
+          this much virtual time, and reconvergence this much again after
+          the event instant *)
+}
+
+val default_budget : budget
+(** 50 million events and 86 400 simulated seconds (one virtual day) —
+    far above anything the paper's workloads need, so results are
+    unchanged for healthy instances; only pathological ones get killed. *)
 
 type result = {
   transient_count : int;
@@ -24,6 +42,11 @@ type result = {
   messages_initial : int;  (** updates sent during initial convergence *)
   messages_event : int;  (** updates sent while reconverging *)
   checkpoints : int;
+  verdict : Sim.verdict;
+      (** {!Sim.Converged} when the run quiesced; otherwise which budget
+          killed it — the other fields then describe the run up to the
+          kill point (if initial convergence itself was killed, the
+          event was never injected and the event-phase fields are zero) *)
 }
 
 val run :
@@ -31,12 +54,15 @@ val run :
   ?mrai_base:float ->
   ?interval:float ->
   ?detect_delay:float ->
+  ?budget:budget ->
   protocol ->
   Topology.t ->
   Scenario.spec ->
   result
 (** Build the protocol's network, converge, inject the scenario's events
-    simultaneously, and monitor reconvergence with {!Transient.run}.
+    (immediate ones at the event instant, {!Scenario.At}-wrapped ones on
+    the simulation clock), and monitor reconvergence with
+    {!Transient.run_guarded} under [budget] (default {!default_budget}).
     STAMP uses {!Coloring.Random_choice} seeded from [seed].
     [detect_delay] (default 0) postpones the adjacent routers' reaction to
     link failures while the data plane is already broken. *)
@@ -47,6 +73,7 @@ val run_stamp :
   ?interval:float ->
   ?spread_unlocked_blue:bool ->
   ?strategy:Coloring.strategy ->
+  ?budget:budget ->
   Topology.t ->
   Scenario.spec ->
   result
@@ -58,23 +85,28 @@ val run_hybrid :
   ?seed:int ->
   ?mrai_base:float ->
   ?interval:float ->
+  ?budget:budget ->
   deployed:(Topology.vertex -> bool) ->
   Topology.t ->
   Scenario.spec ->
   result
 (** Like {!run} for {!Hybrid_net}: STAMP at the ASes satisfying
     [deployed], plain BGP elsewhere — the dynamic version of the paper's
-    partial-deployment question. Only link-failure events are supported.
-    @raise Invalid_argument on node-failure or policy events. *)
+    partial-deployment question. Only link failure/recovery events
+    (possibly {!Scenario.At}-wrapped) are supported.
+    @raise Invalid_argument before any simulation work if the scenario
+    contains any other event; the message names the scenario. *)
 
 val run_traffic :
   ?seed:int ->
   ?mrai_base:float ->
   ?interval:float ->
+  ?budget:budget ->
   protocol ->
   Topology.t ->
   Scenario.spec ->
   Traffic.summary
 (** Like {!run} but measure the packet-loss composition during
     reconvergence with {!Traffic.observe} instead of counting affected
-    ASes — the paper's Section 1 motivation (loops vs blackholes). *)
+    ASes — the paper's Section 1 motivation (loops vs blackholes). The
+    summary's [verdict] reports how the observation ended. *)

@@ -2,17 +2,30 @@ type event =
   | Fail_link of Topology.vertex * Topology.vertex
   | Fail_node of Topology.vertex
   | Deny_export of Topology.vertex * Topology.vertex
+  | Recover_link of Topology.vertex * Topology.vertex
+  | Recover_node of Topology.vertex
+  | Allow_export of Topology.vertex * Topology.vertex
+  | At of float * event
 
 type spec = { dest : Topology.vertex; events : event list }
 
 let pp_spec topo ppf s =
-  let pp_event ppf = function
+  let rec pp_event ppf = function
     | Fail_link (u, v) ->
       Format.fprintf ppf "link %d-%d" (Topology.asn topo u) (Topology.asn topo v)
     | Fail_node v -> Format.fprintf ppf "node %d" (Topology.asn topo v)
     | Deny_export (u, v) ->
       Format.fprintf ppf "policy %d-x->%d" (Topology.asn topo u)
         (Topology.asn topo v)
+    | Recover_link (u, v) ->
+      Format.fprintf ppf "recover link %d-%d" (Topology.asn topo u)
+        (Topology.asn topo v)
+    | Recover_node v ->
+      Format.fprintf ppf "recover node %d" (Topology.asn topo v)
+    | Allow_export (u, v) ->
+      Format.fprintf ppf "policy %d-ok->%d" (Topology.asn topo u)
+        (Topology.asn topo v)
+    | At (dt, e) -> Format.fprintf ppf "@@%g %a" dt pp_event e
   in
   Format.fprintf ppf "dest=%d fail=[%a]" (Topology.asn topo s.dest)
     (Format.pp_print_list
@@ -46,13 +59,21 @@ let cone_provider_links topo ~dest ~avoid =
     reach;
   List.rev !links
 
-let with_resampling name f st topo =
+let with_resampling ?(attempts = 1000) name f st topo =
+  if attempts <= 0 then
+    invalid_arg "Scenario.with_resampling: non-positive attempts";
   let rec attempt k =
     if k = 0 then
-      invalid_arg (Printf.sprintf "Scenario.%s: no suitable instance found" name)
+      invalid_arg
+        (Printf.sprintf
+           "Scenario.%s: no suitable instance found after %d attempts \
+            (topology: %d ASes, %d multi-homed)"
+           name attempts
+           (Topology.num_vertices topo)
+           (Array.length (Topology.multi_homed topo)))
     else match f st topo with Some s -> s | None -> attempt (k - 1)
   in
-  attempt 1000
+  attempt attempts
 
 let two_links_apart =
   with_resampling "two_links_apart" (fun st topo ->
@@ -91,3 +112,56 @@ let policy_withdraw st topo =
   let provs = Topology.providers topo dest in
   let p = provs.(Random.State.int st (Array.length provs)) in
   { dest; events = [ Deny_export (dest, p) ] }
+
+(* --- Churn workloads ---------------------------------------------------- *)
+
+let flap ~period ~count st topo =
+  if period <= 0. || Float.is_nan period then
+    invalid_arg "Scenario.flap: non-positive period";
+  if count <= 0 then invalid_arg "Scenario.flap: non-positive count";
+  let dest = random_multi_homed st topo in
+  let provs = Topology.providers topo dest in
+  let p = provs.(Random.State.int st (Array.length provs)) in
+  let events = ref [] in
+  for k = count - 1 downto 0 do
+    let t0 = float_of_int k *. period in
+    events :=
+      At (t0, Fail_link (dest, p))
+      :: At (t0 +. (period /. 2.), Recover_link (dest, p))
+      :: !events
+  done;
+  { dest; events = !events }
+
+(* Exponential inter-arrival time with the given rate, from the seeded RNG.
+   [Random.State.float st 1.] is in [0,1), so the log argument stays in
+   (0,1] and the sample is finite and non-negative. *)
+let exp_sample st ~rate = -.log (1. -. Random.State.float st 1.) /. rate
+
+let churn ~rate ~duration st topo =
+  if rate <= 0. || Float.is_nan rate then
+    invalid_arg "Scenario.churn: non-positive rate";
+  if duration <= 0. || Float.is_nan duration then
+    invalid_arg "Scenario.churn: non-positive duration";
+  let dest = random_multi_homed st topo in
+  let provs = Topology.providers topo dest in
+  (* Candidate links: the origin's own provider links plus provider links in
+     its uphill cone — the links whose failure the destination can actually
+     feel. Each holds an up/down state so the stream alternates
+     fail/recover per link and never fails a dead link twice. *)
+  let candidates =
+    Array.to_list (Array.map (fun p -> (dest, p)) provs)
+    @ cone_provider_links topo ~dest ~avoid:[ dest ]
+  in
+  let links = Array.of_list candidates in
+  let up = Array.make (Array.length links) true in
+  let events = ref [] in
+  let t = ref (exp_sample st ~rate) in
+  while !t < duration do
+    let i = Random.State.int st (Array.length links) in
+    let u, v = links.(i) in
+    let e = if up.(i) then Fail_link (u, v) else Recover_link (u, v) in
+    up.(i) <- not up.(i);
+    events := At (!t, e) :: !events;
+    t := !t +. exp_sample st ~rate
+  done;
+  { dest; events = List.rev !events }

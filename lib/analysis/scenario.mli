@@ -1,21 +1,47 @@
-(** Failure workloads of the paper's Section 6.2.
+(** Failure workloads of the paper's Section 6.2, plus churn extensions.
 
     Every scenario picks a random multi-homed destination (the paper's
-    "origin AS"), lets routing converge, then injects one compound routing
-    event. Scenario sampling is deterministic in the supplied RNG. *)
+    "origin AS"), lets routing converge, then injects routing events.
+    Scenario sampling is deterministic in the supplied RNG. *)
 
 type event =
   | Fail_link of Topology.vertex * Topology.vertex
   | Fail_node of Topology.vertex
   | Deny_export of Topology.vertex * Topology.vertex
       (** policy change: first AS stops exporting to the second *)
+  | Recover_link of Topology.vertex * Topology.vertex
+      (** the link comes back: the session re-establishes and both ends
+          re-announce *)
+  | Recover_node of Topology.vertex
+      (** the AS comes back with empty RIBs and re-learns from neighbours *)
+  | Allow_export of Topology.vertex * Topology.vertex
+      (** policy change undone: first AS resumes exporting to the second *)
+  | At of float * event
+      (** timed wrapper: inject the inner event [dt] seconds after the
+          scenario's injection instant instead of immediately. Nesting
+          accumulates offsets. *)
 
 type spec = {
   dest : Topology.vertex;  (** the origin/destination AS *)
-  events : event list;  (** injected simultaneously after convergence *)
+  events : event list;
+      (** injected after convergence; immediately unless wrapped in {!At} *)
 }
 
 val pp_spec : Topology.t -> Format.formatter -> spec -> unit
+
+val with_resampling :
+  ?attempts:int ->
+  string ->
+  (Random.State.t -> Topology.t -> spec option) ->
+  Random.State.t ->
+  Topology.t ->
+  spec
+(** [with_resampling name f st topo] draws from [f] until it yields a
+    scenario, retrying up to [attempts] times (default 1000).
+    @raise Invalid_argument when every attempt returns [None]; the message
+    names the generator, the attempt count, and the topology's size and
+    multi-homed count so a hopeless generator/topology pairing is
+    diagnosable from the error alone. *)
 
 val single_link : Random.State.t -> Topology.t -> spec
 (** Figure 2: a multi-homed origin fails one of its provider links. *)
@@ -39,3 +65,18 @@ val policy_withdraw : Random.State.t -> Topology.t -> spec
 (** The paper's policy-change event class: a multi-homed origin stops
     announcing its prefix to one of its providers. Same withdrawal
     semantics as a link failure, but the link stays physically up. *)
+
+val flap : period:float -> count:int -> Random.State.t -> Topology.t -> spec
+(** Link flapping: one of the origin's provider links fails and recovers
+    [count] times. Flap [k] fails the link at [k * period] and recovers it
+    half a period later, so the link spends half its time down.
+    @raise Invalid_argument on non-positive [period] or [count]. *)
+
+val churn : rate:float -> duration:float -> Random.State.t -> Topology.t -> spec
+(** Sustained churn: a Poisson-ish stream of link events at [rate] events
+    per second of virtual time over [duration] seconds, drawn from the
+    seeded RNG (exponential inter-arrivals). Each event picks a uniformly
+    random link among the origin's provider links and the provider links in
+    its uphill cone, failing it if up and recovering it if down — links may
+    be left down when the stream ends.
+    @raise Invalid_argument on non-positive [rate] or [duration]. *)

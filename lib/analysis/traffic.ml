@@ -5,7 +5,12 @@ type bucket = {
   blackholed : float;
 }
 
-type summary = { buckets : bucket list; loss_events : int; loop_events : int }
+type summary = {
+  buckets : bucket list;
+  loss_events : int;
+  loop_events : int;
+  verdict : Sim.verdict;
+}
 
 let loop_share s =
   if s.loss_events = 0 then nan
@@ -18,7 +23,8 @@ type acc = {
   mutable blackholed : int;
 }
 
-let observe sim ?(interval = 0.02) ?(bucket = 1.0) ~probe () =
+let observe sim ?(interval = 0.02) ?(bucket = 1.0) ?(max_events = 50_000_000)
+    ?(max_vtime = infinity) ~probe () =
   if interval <= 0. || bucket <= 0. then
     invalid_arg "Traffic.observe: non-positive interval or bucket";
   let t0 = Sim.now sim in
@@ -50,10 +56,20 @@ let observe sim ?(interval = 0.02) ?(bucket = 1.0) ~probe () =
       (probe ())
   in
   note ();
-  while Sim.pending sim > 0 do
-    let before = Sim.events_processed sim in
-    Sim.run ~until:(Sim.now sim +. interval) sim;
-    if Sim.events_processed sim > before then note ()
+  let events_budget = ref max_events in
+  let verdict = ref Sim.Converged in
+  while Sim.pending sim > 0 && !verdict = Sim.Converged do
+    if Sim.now sim >= max_vtime then verdict := Sim.Time_budget_exhausted
+    else begin
+      let upto = Float.min (Sim.now sim +. interval) max_vtime in
+      let before = Sim.events_processed sim in
+      Sim.run ~until:upto ~max_events:(max 0 !events_budget) sim;
+      let processed = Sim.events_processed sim - before in
+      events_budget := !events_budget - processed;
+      if !events_budget <= 0 && Sim.pending sim > 0 then
+        verdict := Sim.Event_budget_exhausted
+      else if processed > 0 then note ()
+    end
   done;
   note ();
   let buckets =
@@ -68,4 +84,9 @@ let observe sim ?(interval = 0.02) ?(bucket = 1.0) ~probe () =
              blackholed = float_of_int a.blackholed /. k;
            })
   in
-  { buckets; loss_events = !loss_events; loop_events = !loop_events }
+  {
+    buckets;
+    loss_events = !loss_events;
+    loop_events = !loop_events;
+    verdict = !verdict;
+  }

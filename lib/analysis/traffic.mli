@@ -18,6 +18,9 @@ type summary = {
   buckets : bucket list;
   loss_events : int;  (** probe observations that lost packets *)
   loop_events : int;  (** of which loops *)
+  verdict : Sim.verdict;
+      (** how the observation ended: {!Sim.Converged} when the queue
+          drained, otherwise which budget killed the run *)
 }
 
 val loop_share : summary -> float
@@ -28,9 +31,14 @@ val observe :
   Sim.t ->
   ?interval:float ->
   ?bucket:float ->
+  ?max_events:int ->
+  ?max_vtime:float ->
   probe:(unit -> Fwd_walk.status array) ->
   unit ->
   summary
 (** Drive the simulation to convergence like {!Transient.run}, probing
     every [interval] (default 0.02 s) and aggregating the per-AS statuses
-    into buckets of [bucket] seconds (default 1 s). *)
+    into buckets of [bucket] seconds (default 1 s). [max_events] (default
+    50 million) and [max_vtime] (default unbounded) bound the loop; when a
+    budget hits, the partial summary is returned with the matching
+    {!Sim.verdict}. *)

@@ -9,7 +9,12 @@ type outcome = {
 let transient_count o =
   Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 o.transient
 
-let run sim ?(interval = 0.02) ?(max_events = 50_000_000) ~probe () =
+(* Shared monitor core: drive the simulation in [interval]-sized slices,
+   probing the forwarding plane after every slice in which events fired,
+   until the queue drains or a budget runs out. Returns the verdict
+   alongside the outcome; [run] keeps the historical raising behaviour on
+   top of it. *)
+let run_watched sim ~interval ~max_events ~max_vtime ~probe =
   if interval <= 0. then invalid_arg "Transient.run: non-positive interval";
   let first = probe () in
   let n = Array.length first in
@@ -29,31 +34,49 @@ let run sim ?(interval = 0.02) ?(max_events = 50_000_000) ~probe () =
   note first;
   let checkpoints = ref 1 in
   let events_budget = ref max_events in
-  while Sim.pending sim > 0 do
-    let before = Sim.events_processed sim in
-    Sim.run ~until:(Sim.now sim +. interval) ~max_events:!events_budget sim;
-    let processed = Sim.events_processed sim - before in
-    events_budget := !events_budget - processed;
-    if !events_budget <= 0 then
-      failwith "Transient.run: event budget exceeded (non-convergence?)";
-    (* nothing happened, nothing changed: skip the redundant probe *)
-    if processed > 0 && Sim.pending sim > 0 then begin
-      note (probe ());
-      incr checkpoints
+  let verdict = ref Sim.Converged in
+  while Sim.pending sim > 0 && !verdict = Sim.Converged do
+    if Sim.now sim >= max_vtime then verdict := Sim.Time_budget_exhausted
+    else begin
+      let upto = Float.min (Sim.now sim +. interval) max_vtime in
+      let before = Sim.events_processed sim in
+      Sim.run ~until:upto ~max_events:(max 0 !events_budget) sim;
+      let processed = Sim.events_processed sim - before in
+      events_budget := !events_budget - processed;
+      if !events_budget <= 0 && Sim.pending sim > 0 then
+        verdict := Sim.Event_budget_exhausted
+      else if processed > 0 && Sim.pending sim > 0 then begin
+        (* nothing happened, nothing changed: skip the redundant probe *)
+        note (probe ());
+        incr checkpoints
+      end
     end
   done;
   let final = probe () in
   incr checkpoints;
   let transient =
     Array.mapi
-      (fun v bad ->
-        bad && Fwd_walk.equal_status final.(v) Fwd_walk.Delivered)
+      (fun v bad -> bad && Fwd_walk.equal_status final.(v) Fwd_walk.Delivered)
       troubled
   in
-  {
-    transient;
-    final;
-    checkpoints = !checkpoints;
-    converged_at = Sim.now sim;
-    last_status_change = !last_status_change;
-  }
+  ( {
+      transient;
+      final;
+      checkpoints = !checkpoints;
+      converged_at = Sim.now sim;
+      last_status_change = !last_status_change;
+    },
+    !verdict )
+
+let run_guarded sim ?(interval = 0.02) ?(max_events = 50_000_000)
+    ?(max_vtime = infinity) ~probe () =
+  run_watched sim ~interval ~max_events ~max_vtime ~probe
+
+let run sim ?(interval = 0.02) ?(max_events = 50_000_000) ~probe () =
+  let outcome, verdict =
+    run_watched sim ~interval ~max_events ~max_vtime:infinity ~probe
+  in
+  match verdict with
+  | Sim.Converged -> outcome
+  | Sim.Event_budget_exhausted | Sim.Time_budget_exhausted ->
+    failwith "Transient.run: event budget exceeded (non-convergence?)"

@@ -37,4 +37,21 @@ val run :
     every [interval] seconds of virtual time (default 0.02 s, matching the paper's 10-20 ms message delays so transient windows are not missed; probes are skipped while no events fire, so quiet MRAI gaps cost nothing) until the
     event queue drains, then probe one final time. [max_events] (default
     50 million) guards against non-termination and raises [Failure] when
-    exceeded. *)
+    exceeded with events still pending. *)
+
+val run_guarded :
+  Sim.t ->
+  ?interval:float ->
+  ?max_events:int ->
+  ?max_vtime:float ->
+  probe:(unit -> Fwd_walk.status array) ->
+  unit ->
+  outcome * Sim.verdict
+(** Like {!run} but returns a {!Sim.verdict} instead of raising, so sweeps
+    over adversarial or churn-heavy instances degrade gracefully:
+    {!Sim.Event_budget_exhausted} when [max_events] fired with events still
+    pending, {!Sim.Time_budget_exhausted} when the clock reached
+    [max_vtime] (default: unbounded) with events still pending. On a
+    non-{!Sim.Converged} verdict the outcome reports whatever the monitor
+    observed up to the kill point (the final probe still runs, so [final]
+    reflects the forwarding plane at the moment the budget hit). *)

@@ -204,6 +204,19 @@ let fail_node t v =
       recompute t rn)
     (Topology.neighbors t.topo v)
 
+let recover_node t v =
+  Link_state.recover_node t.links v;
+  let r = t.routers.(v) in
+  (* re-originates if [v] is the destination; otherwise the RIBs are empty
+     and best stays None until neighbours re-announce *)
+  recompute t r;
+  Array.iter
+    (fun (n, _) ->
+      (* sessions re-establish: each side advertises its current best *)
+      advertise_to t t.routers.(n) v;
+      advertise_to t r n)
+    (Topology.neighbors t.topo v)
+
 let deny_export t v n =
   if Topology.rel t.topo v n = None then
     invalid_arg "Bgp_net.deny_export: vertices not adjacent";

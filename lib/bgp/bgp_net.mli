@@ -50,6 +50,12 @@ val fail_node : t -> Topology.vertex -> unit
 (** Fail an AS entirely: all its links go down and it stops participating
     (the paper's single node failure event). *)
 
+val recover_node : t -> Topology.vertex -> unit
+(** Bring a failed AS back: its links come up (except those failed
+    individually), sessions re-establish and neighbours re-announce; the
+    returning router restarts with empty RIBs (and re-originates if it is
+    the destination). *)
+
 val deny_export : t -> Topology.vertex -> Topology.vertex -> unit
 (** Policy change: the first AS stops exporting routes to the second (an
     immediate withdrawal follows if something was advertised) — the

@@ -198,6 +198,20 @@ let fail_link ?(detect_delay = 0.) t u v =
   if detect_delay = 0. then drop_session t u v
   else Sim.schedule t.sim ~delay:detect_delay (fun _ -> drop_session t u v)
 
+let recover_link t u v =
+  if Topology.rel t.topo u v = None then
+    invalid_arg "Hybrid_net.recover_link: vertices not adjacent";
+  Link_state.recover_link t.links u v;
+  let clear r peer =
+    Hashtbl.remove r.adj_rib_in peer;
+    Hashtbl.remove r.rib_out peer
+  in
+  clear t.routers.(u) v;
+  clear t.routers.(v) u;
+  (* session re-establishes: each side advertises its current best *)
+  advertise_to t t.routers.(u) v;
+  advertise_to t t.routers.(v) u
+
 (* --- observation ----------------------------------------------------------- *)
 
 let best t v = t.routers.(v).best

@@ -41,6 +41,11 @@ val is_deployed : t -> Topology.vertex -> bool
 val fail_link :
   ?detect_delay:float -> t -> Topology.vertex -> Topology.vertex -> unit
 
+val recover_link : t -> Topology.vertex -> Topology.vertex -> unit
+(** Bring a link back: the session re-establishes and both sides
+    re-advertise their current best routes (backup tables refresh as the
+    RIBs change). *)
+
 val best : t -> Topology.vertex -> Route.t option
 (** The (plain BGP) best route of an AS. *)
 

@@ -379,6 +379,37 @@ let fail_node t v =
       advertise_all t rn)
     (Topology.neighbors t.topo v)
 
+let recover_node t v =
+  Link_state.recover_node t.links v;
+  let r = t.routers.(v) in
+  (* the returning router restarts both processes from scratch *)
+  List.iter
+    (fun color ->
+      let p = proc r color in
+      Hashtbl.reset p.adj_rib_in;
+      Hashtbl.reset p.rib_out;
+      p.best <- None;
+      p.unstable <- false;
+      p.loss_pending <- false;
+      recompute t r color ~loss:false)
+    Color.all;
+  advertise_all t r;
+  (* neighbours re-run the selective-announcement plan — in particular the
+     locked-blue-provider designation, which may now prefer a provider that
+     just came back *)
+  Array.iter
+    (fun (n, _) ->
+      let rn = t.routers.(n) in
+      List.iter
+        (fun color ->
+          let p = proc rn color in
+          Hashtbl.remove p.adj_rib_in v;
+          Hashtbl.remove p.rib_out v;
+          recompute t rn color ~loss:false)
+        Color.all;
+      advertise_all t rn)
+    (Topology.neighbors t.topo v)
+
 let deny_export t v n =
   if Topology.rel t.topo v n = None then
     invalid_arg "Stamp_net.deny_export: vertices not adjacent";

@@ -73,6 +73,12 @@ val recover_link : t -> Topology.vertex -> Topology.vertex -> unit
     addition event — by Lemma 3.1 it must cause no transient loops or
     failures, which the test suite checks. *)
 
+val recover_node : t -> Topology.vertex -> unit
+(** Bring a failed AS back: its links come up, the returning router
+    restarts both processes from scratch, and every neighbour re-runs the
+    selective-announcement plan — including the locked-blue-provider
+    designation, which may move back onto a recovered provider. *)
+
 (** {1 Observation} *)
 
 val best : t -> Color.t -> Topology.vertex -> Route.t option

@@ -330,10 +330,15 @@ let recover_link t u v =
   Link_state.recover_link t.links u v;
   drop_session t u v;
   (* recovered links clear the corresponding root cause: routes through the
-     link are valid again *)
+     link are valid again. [last_cause] must go too, or re-announcements
+     would carry the stale cause and re-poison every receiver. *)
+  let cause = Link (u, v) in
   let clear_cause r =
     r.known_causes <-
-      List.filter (fun c -> not (cause_equal c (Link (u, v)))) r.known_causes
+      List.filter (fun c -> not (cause_equal c cause)) r.known_causes;
+    match r.last_cause with
+    | Some c when cause_equal c cause -> r.last_cause <- None
+    | Some _ | None -> ()
   in
   Array.iter clear_cause t.routers;
   advertise_to t t.routers.(u) v;
@@ -361,6 +366,35 @@ let fail_node t v =
       | Some _ | None -> ());
       learn_cause t rn cause;
       recompute t rn)
+    (Topology.neighbors t.topo v)
+
+let recover_node t v =
+  Link_state.recover_node t.links v;
+  let r = t.routers.(v) in
+  (* the returning router restarts with a clean slate *)
+  r.known_causes <- [];
+  r.last_cause <- None;
+  r.withdrawn <- None;
+  (* the node's root cause clears everywhere: paths through it are valid
+     again (including stale [last_cause] stamps, which would otherwise
+     travel on re-announcements and re-poison receivers) *)
+  let cause = Node v in
+  Array.iter
+    (fun rn ->
+      rn.known_causes <-
+        List.filter (fun c -> not (cause_equal c cause)) rn.known_causes;
+      match rn.last_cause with
+      | Some c when cause_equal c cause -> rn.last_cause <- None
+      | Some _ | None -> ())
+    t.routers;
+  (* re-originates if [v] is the destination; otherwise waits for
+     neighbours to re-announce *)
+  recompute t r;
+  Array.iter
+    (fun (n, _) ->
+      advertise_to t t.routers.(n) v;
+      advertise_to t r n;
+      update_failover t t.routers.(n))
     (Topology.neighbors t.topo v)
 
 let deny_export t v n =

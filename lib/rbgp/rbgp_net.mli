@@ -53,6 +53,11 @@ val recover_link : t -> Topology.vertex -> Topology.vertex -> unit
     the link's root cause is cleared everywhere (routes through it are
     valid again). *)
 
+val recover_node : t -> Topology.vertex -> unit
+(** Bring a failed AS back: its links come up, sessions re-establish and
+    neighbours re-announce. The node's root cause is cleared everywhere and
+    the returning router restarts with empty RIBs and no known causes. *)
+
 val deny_export : t -> Topology.vertex -> Topology.vertex -> unit
 (** Policy change: stop exporting to a neighbour (withdrawal follows). *)
 

@@ -47,8 +47,48 @@ let run ?(until = infinity) ?(max_events = max_int) t =
       incr processed
   done;
   (* virtual time passes even when nothing happens: advance the clock to
-     the horizon so callers can step a simulation in fixed increments *)
-  if Float.is_finite until && t.clock < until then t.clock <- until
+     the horizon so callers can step a simulation in fixed increments —
+     but only when no pending event is due at or before the horizon
+     (the loop may have stopped on [max_events] with work left; warping
+     past it would make the next [step] run time backwards) *)
+  let no_due_event =
+    match Event_heap.peek_time t.heap with
+    | None -> true
+    | Some time -> time > until
+  in
+  if Float.is_finite until && t.clock < until && no_due_event then
+    t.clock <- until
+
+type verdict = Converged | Event_budget_exhausted | Time_budget_exhausted
+
+let verdict_name = function
+  | Converged -> "converged"
+  | Event_budget_exhausted -> "event-budget-exhausted"
+  | Time_budget_exhausted -> "time-budget-exhausted"
+
+let equal_verdict (a : verdict) b = a = b
+
+let run_guarded ?(until = infinity) ?(max_events = max_int) t =
+  let processed = ref 0 in
+  let verdict = ref Converged in
+  let continue = ref true in
+  while !continue do
+    match Event_heap.peek_time t.heap with
+    | None -> continue := false
+    | Some time when time > until ->
+      verdict := Time_budget_exhausted;
+      continue := false
+    | Some _ ->
+      if !processed >= max_events then begin
+        verdict := Event_budget_exhausted;
+        continue := false
+      end
+      else begin
+        ignore (step t);
+        incr processed
+      end
+  done;
+  !verdict
 
 let pending t = Event_heap.size t.heap
 let events_processed t = t.events_processed

@@ -146,5 +146,16 @@ let mapi t f xs =
 
 let map t f xs = mapi t (fun _ x -> f x) xs
 
+(* Per-job exception capture: wrap each thunk so the batch always returns
+   and a crashing job becomes an [Error] row instead of poisoning the whole
+   sweep. *)
+let try_map t f xs =
+  Array.to_list
+    (run_batch t
+       (Array.of_list
+          (List.map
+             (fun x -> fun () -> try Ok (f x) with e -> Error e)
+             xs)))
+
 let map_reduce t ~map:f ~reduce ~init xs =
   List.fold_left reduce init (map t f xs)

@@ -63,6 +63,11 @@ val mapi : t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 (** Like {!map} with the submission index (the usual per-job seed
     offset). *)
 
+val try_map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Like {!map} but a raising job yields its own [Error] row instead of
+    re-raising in the submitter: the sweep completes and reports partial
+    data. Results are in submission order. *)
+
 val map_reduce :
   t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc ->
   'a list -> 'acc

@@ -164,10 +164,11 @@ let golden_result =
     (fun ppf (r : Runner.result) ->
       Format.fprintf ppf
         "{ transient=%d; broken=%d; conv=%.17g; rec=%.17g; mi=%d; me=%d; \
-         cp=%d }"
+         cp=%d; verdict=%s }"
         r.Runner.transient_count r.Runner.broken_after
         r.Runner.convergence_delay r.Runner.recovery_delay
-        r.Runner.messages_initial r.Runner.messages_event r.Runner.checkpoints)
+        r.Runner.messages_initial r.Runner.messages_event r.Runner.checkpoints
+        (Sim.verdict_name r.Runner.verdict))
     ( = )
 
 let golden_expectations =
@@ -182,6 +183,7 @@ let golden_expectations =
       messages_initial;
       messages_event;
       checkpoints;
+      verdict = Sim.Converged;
     }
   in
   [
@@ -279,7 +281,7 @@ let test_overhead_and_delay () =
   let rows = Experiment.overhead_and_delay ~instances:4 t in
   Alcotest.(check int) "four protocols" 4 (List.length rows);
   let find p =
-    List.find (fun r -> r.Experiment.protocol = p) rows
+    List.find (fun (r : Experiment.overhead_result) -> r.protocol = p) rows
   in
   let bgp = find Runner.Bgp and stamp = find Runner.Stamp in
   Alcotest.(check bool) "stamp < 2x bgp messages (Section 6.3)" true

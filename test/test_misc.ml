@@ -172,7 +172,7 @@ let test_instant_delivery_when_fully_covered () =
       List.iter
         (function
           | Scenario.Fail_link (u, v) -> Stamp_net.fail_link net u v
-          | Scenario.Fail_node _ | Scenario.Deny_export _ -> assert false)
+          | _ -> assert false (* single_link only emits link failures *))
         spec.Scenario.events;
       Array.iter
         (fun s ->

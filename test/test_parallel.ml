@@ -7,10 +7,12 @@ let runner_result =
   Alcotest.testable
     (fun ppf (r : Runner.result) ->
       Format.fprintf ppf
-        "{transient=%d; broken=%d; conv=%.17g; rec=%.17g; msgs=%d+%d; cp=%d}"
+        "{transient=%d; broken=%d; conv=%.17g; rec=%.17g; msgs=%d+%d; cp=%d; \
+         verdict=%s}"
         r.Runner.transient_count r.Runner.broken_after
         r.Runner.convergence_delay r.Runner.recovery_delay
-        r.Runner.messages_initial r.Runner.messages_event r.Runner.checkpoints)
+        r.Runner.messages_initial r.Runner.messages_event r.Runner.checkpoints
+        (Sim.verdict_name r.Runner.verdict))
     ( = )
 
 (* --- pool vs sequential baseline over the shared fixtures -------------- *)
@@ -109,6 +111,34 @@ let test_exception_reraised_rest_completes () =
       let r = Parallel.run_batch pool (Array.init 5 (fun i () -> i * i)) in
       Alcotest.(check (array int)) "pool usable afterwards"
         [| 0; 1; 4; 9; 16 |] r)
+
+let test_try_map_captures_per_job () =
+  (* unlike run_batch, try_map keeps the whole sweep alive: raising jobs
+     become Error rows in submission order, the rest are Ok *)
+  Parallel.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 12 Fun.id in
+      let results =
+        Parallel.try_map pool
+          (fun i -> if i mod 5 = 3 then failwith (Printf.sprintf "job%d" i)
+            else i * i)
+          xs
+      in
+      Alcotest.(check int) "one row per job" 12 (List.length results);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) (Printf.sprintf "ok %d" i) (i * i) v
+          | Error (Failure msg) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "raising job %d" i)
+              true
+              (i mod 5 = 3 && msg = Printf.sprintf "job%d" i)
+          | Error _ -> Alcotest.fail "unexpected exception")
+        results;
+      (* all-ok batch afterwards: the pool is unharmed *)
+      let again = Parallel.try_map pool succ [ 1; 2; 3 ] in
+      Alcotest.(check bool) "pool usable afterwards" true
+        (again = [ Ok 2; Ok 3; Ok 4 ]))
 
 let test_reentrant_submit_rejected () =
   Parallel.with_pool ~jobs:2 (fun pool ->
@@ -250,6 +280,8 @@ let () =
         [
           Alcotest.test_case "re-raised, batch completes" `Quick
             test_exception_reraised_rest_completes;
+          Alcotest.test_case "try_map captures per job" `Quick
+            test_try_map_captures_per_job;
           Alcotest.test_case "re-entrant submit rejected" `Quick
             test_reentrant_submit_rejected;
           Alcotest.test_case "shutdown" `Quick test_shutdown;

@@ -91,6 +91,65 @@ let test_sim_schedule_at_past () =
       with Invalid_argument _ -> ());
   Sim.run sim
 
+(* Regression: [run ~until] must not warp the clock past pending events
+   when a [max_events] budget stops the run early. The old code set the
+   clock to [until] unconditionally, so a subsequent [run] would have
+   processed the remaining events "in the past". *)
+let test_sim_no_clock_warp_on_budget () =
+  let sim = Sim.create () in
+  let times = ref [] in
+  for i = 1 to 3 do
+    Sim.schedule sim ~delay:(float_of_int i) (fun s ->
+        times := Sim.now s :: !times)
+  done;
+  Sim.run ~until:10. ~max_events:1 sim;
+  Alcotest.(check (float 1e-9)) "clock at last processed event" 1. (Sim.now sim);
+  Alcotest.(check int) "two events still pending" 2 (Sim.pending sim);
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "remaining events at their own times"
+    [ 1.; 2.; 3. ] (List.rev !times);
+  Alcotest.(check (float 1e-9)) "final clock" 3. (Sim.now sim)
+
+let test_run_guarded_converged () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  for i = 1 to 5 do
+    Sim.schedule sim ~delay:(float_of_int i) (fun _ -> incr fired)
+  done;
+  let v = Sim.run_guarded sim in
+  Alcotest.(check string) "verdict" "converged" (Sim.verdict_name v);
+  Alcotest.(check int) "all fired" 5 !fired;
+  Alcotest.(check bool) "equal_verdict" true
+    (Sim.equal_verdict v Sim.Converged)
+
+let test_run_guarded_time_budget () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    Sim.schedule sim ~delay:(float_of_int i) (fun _ -> incr fired)
+  done;
+  let v = Sim.run_guarded ~until:5.5 sim in
+  Alcotest.(check string) "verdict" "time-budget-exhausted"
+    (Sim.verdict_name v);
+  Alcotest.(check int) "only due events fired" 5 !fired;
+  Alcotest.(check int) "rest pending" 5 (Sim.pending sim);
+  (* the clock stayed at the last processed event, not at [until] *)
+  Alcotest.(check (float 1e-9)) "clock" 5. (Sim.now sim)
+
+let test_run_guarded_event_budget () =
+  (* a self-rescheduling tick never quiesces: without the event budget
+     this run would never return *)
+  let sim = Sim.create () in
+  let rec tick s =
+    Sim.schedule s ~delay:1. tick
+  in
+  Sim.schedule sim ~delay:1. tick;
+  let v = Sim.run_guarded ~max_events:100 sim in
+  Alcotest.(check string) "verdict" "event-budget-exhausted"
+    (Sim.verdict_name v);
+  Alcotest.(check int) "stopped at the budget" 100 (Sim.events_processed sim);
+  Alcotest.(check int) "tick still pending" 1 (Sim.pending sim)
+
 let test_sim_deterministic_rng () =
   let draw seed =
     let sim = Sim.create ~seed () in
@@ -253,6 +312,14 @@ let () =
           Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
           Alcotest.test_case "schedule_at past" `Quick test_sim_schedule_at_past;
           Alcotest.test_case "deterministic rng" `Quick test_sim_deterministic_rng;
+          Alcotest.test_case "no clock warp on budget" `Quick
+            test_sim_no_clock_warp_on_budget;
+          Alcotest.test_case "guarded: converged" `Quick
+            test_run_guarded_converged;
+          Alcotest.test_case "guarded: time budget" `Quick
+            test_run_guarded_time_budget;
+          Alcotest.test_case "guarded: event budget" `Quick
+            test_run_guarded_event_budget;
           prop_sim_fifo_same_time;
           prop_sim_counters_consistent;
         ] );
