@@ -126,14 +126,16 @@ let timed f =
    files. *)
 let json_entries : string list ref = ref []
 
-let record_target ?bars name wall =
-  let bars_field =
-    match bars with
+let record_target ?bars ?counters name wall =
+  (* optional fields render exactly as before when absent, so pinned
+     BENCH_*.json payloads (e.g. fig2's bars) stay byte-identical *)
+  let opt field = function
     | None -> ""
-    | Some j -> Printf.sprintf ", \"bars\": %s" j
+    | Some j -> Printf.sprintf ", \"%s\": %s" field j
   in
   json_entries :=
-    Printf.sprintf "{\"target\": %S, \"wall_s\": %.3f%s}" name wall bars_field
+    Printf.sprintf "{\"target\": %S, \"wall_s\": %.3f%s%s}" name wall
+      (opt "bars" bars) (opt "counters" counters)
     :: !json_entries
 
 let write_json cfg =
@@ -448,7 +450,53 @@ let smoke pool cfg =
        (fun acc (s : Experiment.churn_summary) ->
          acc + s.event_budget_exhausted)
        0 summaries);
-  record_target "smoke" wall ~bars:(Report.bars_stats_to_json par)
+  (* counter wiring check: every registered engine reports per-run update
+     counters that are non-negative, consistent with the message totals,
+     and serialised with all four fields present in the --json payload *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let spec = Scenario.single_link (Random.State.make [| cfg.seed |]) topo in
+  let counter_rows =
+    List.map
+      (fun (engine_name, engine) ->
+        let r =
+          Runner.run_engine ~seed:cfg.seed ~mrai_base:cfg.mrai engine topo spec
+        in
+        let c = r.Runner.counters in
+        if not (Counters.non_negative c) then begin
+          Format.eprintf "smoke: FAIL — %s reports negative counters: %a@."
+            engine_name Counters.pp c;
+          exit 1
+        end;
+        if Counters.messages c <> r.Runner.messages_initial + r.Runner.messages_event
+        then begin
+          Format.eprintf
+            "smoke: FAIL — %s: counters (%a) disagree with message totals \
+             %d+%d@."
+            engine_name Counters.pp c r.Runner.messages_initial
+            r.Runner.messages_event;
+          exit 1
+        end;
+        let j = Report.counters_to_json c in
+        List.iter
+          (fun field ->
+            if not (contains j ("\"" ^ field ^ "\"")) then begin
+              Format.eprintf "smoke: FAIL — counters JSON misses %S: %s@."
+                field j;
+              exit 1
+            end)
+          [ "announcements"; "withdrawals"; "mrai_deferrals"; "lost_to_resets" ];
+        Printf.sprintf "{\"engine\": %S, \"counters\": %s}" engine_name j)
+      (Engine.Registry.all ())
+  in
+  Format.printf "smoke OK: update counters wired for %d registered engines@."
+    (List.length counter_rows);
+  record_target "smoke" wall
+    ~bars:(Report.bars_stats_to_json par)
+    ~counters:("[" ^ String.concat ", " counter_rows ^ "]")
 
 (* --- Bechamel micro-benchmarks ---------------------------------------- *)
 

@@ -78,6 +78,7 @@ let run topo_file n seed protocol dest_asn fails scenario_kind mrai =
               Scenario.Fail_link
                 (vertex_of_asn_exn topo a, vertex_of_asn_exn topo b))
             links;
+        detect_delay = None;
       }
     | Some _, [] | None, _ -> begin
       match scenario_kind with

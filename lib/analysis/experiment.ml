@@ -97,6 +97,34 @@ let failure_bars_stats ?pool ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
     (fun protocol cs -> (protocol, Stat.summarize cs))
     Runner.all_protocols (chunks instances counts)
 
+let engine_bars ?pool ?(instances = 20) ?(seed = 1) ?(mrai_base = 30.)
+    ?(interval = 0.02) ?engines ~scenario topo =
+  let engines =
+    match engines with
+    | Some es -> es
+    | None -> List.map snd (Engine.Registry.all ())
+  in
+  let st = Random.State.make [| seed |] in
+  let specs = List.init instances (fun i -> (i, scenario st topo)) in
+  let jobs =
+    List.concat_map
+      (fun engine -> List.map (fun (i, s) -> (engine, i, s)) specs)
+      engines
+  in
+  let counts =
+    pmap ?pool
+      (fun (engine, i, spec) ->
+        (Runner.run_engine ~seed:(seed + i) ~mrai_base ~interval engine topo
+           spec)
+          .Runner.transient_count)
+      jobs
+  in
+  List.map2
+    (fun engine cs ->
+      let (module E : Engine.S) = engine in
+      (E.name, avg_int instances cs))
+    engines (chunks instances counts)
+
 type overhead_result = {
   protocol : Runner.protocol;
   avg_messages_initial : float;

@@ -56,6 +56,23 @@ val failure_bars_stats :
     impact is heavy-tailed, so a bar without spread is easy to
     over-read. *)
 
+val engine_bars :
+  ?pool:Parallel.t ->
+  ?instances:int ->
+  ?seed:int ->
+  ?mrai_base:float ->
+  ?interval:float ->
+  ?engines:(module Engine.S) list ->
+  scenario:(Random.State.t -> Topology.t -> Scenario.spec) ->
+  Topology.t ->
+  (string * float) list
+(** The fully generic sweep behind {!failure_bars}: average transient
+    counts for an arbitrary engine list, keyed by engine name. [engines]
+    defaults to every registered engine ({!Engine.Registry.all}, in
+    registration order), so a newly registered protocol shows up in the
+    sweep without touching this module. Same determinism contract and
+    per-instance seeding as {!failure_bars}. *)
+
 type overhead_result = {
   protocol : Runner.protocol;
   avg_messages_initial : float;

@@ -5,8 +5,13 @@ type t = {
   origins : Topology.vertex Lpm.t; (* prefix -> originating vertex *)
 }
 
-let build topo =
+let build ?tables topo =
   let n = Topology.num_vertices topo in
+  let tables =
+    match tables with
+    | Some f -> f
+    | None -> fun ~dest -> Static_route.compute topo ~dest
+  in
   let prefixes =
     Array.init n (fun v -> Prefix.of_asn (Topology.asn topo v))
   in
@@ -15,7 +20,7 @@ let build topo =
   in
   let fibs = Array.make n Lpm.empty in
   for dest = 0 to n - 1 do
-    let table = Static_route.compute topo ~dest in
+    let table = tables ~dest in
     for v = 0 to n - 1 do
       if v <> dest then
         match Static_route.next_hop table v with

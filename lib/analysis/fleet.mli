@@ -11,9 +11,14 @@
 
 type t
 
-val build : Topology.t -> t
+val build :
+  ?tables:(dest:Topology.vertex -> Static_route.table) -> Topology.t -> t
 (** Compute the stable routing for every destination AS and assemble the
     FIBs. O(vertices × links) time, O(vertices²) space for the tables.
+    [tables] overrides the per-destination route source — by default the
+    {!Static_route} oracle, but any engine's converged tables (e.g.
+    {!Bgp_net.to_table} after running to quiescence) can be plugged in, so
+    the data plane is protocol-generic like the rest of the driver stack.
     @raise Invalid_argument if some AS number exceeds 65535 (no prefix
     assignment). *)
 

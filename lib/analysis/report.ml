@@ -129,6 +129,13 @@ let bars_stats_to_json rows =
          rows)
   ^ "]"
 
+let counters_to_json (c : Counters.t) =
+  Printf.sprintf
+    "{\"announcements\": %d, \"withdrawals\": %d, \"mrai_deferrals\": %d, \
+     \"lost_to_resets\": %d}"
+    c.Counters.announcements c.Counters.withdrawals c.Counters.mrai_deferrals
+    c.Counters.lost_to_resets
+
 let bars_to_json rows =
   "["
   ^ String.concat ", "
@@ -161,9 +168,10 @@ let churn_to_json (rows, summaries) =
       | Ok (res : Runner.result) ->
         Printf.sprintf
           "\"verdict\": %S, \"transient_count\": %d, \"broken_after\": %d, \
-           \"messages_event\": %d"
+           \"messages_event\": %d, \"counters\": %s"
           (Sim.verdict_name res.verdict)
           res.transient_count res.broken_after res.messages_event
+          (counters_to_json res.counters)
       | Error msg -> Printf.sprintf "\"error\": %S" msg
     in
     Printf.sprintf "{\"protocol\": %S, \"instance\": %d, \"seed\": %d, %s}"

@@ -33,10 +33,14 @@ val pp_churn : Format.formatter -> Experiment.churn_summary list -> unit
 (** Per-protocol churn-sweep table: completed/crashed counts, verdict
     tallies and the averaged metrics over completed instances. *)
 
+val counters_to_json : Counters.t -> string
+(** One engine's update-traffic counters as a JSON object
+    ([announcements/withdrawals/mrai_deferrals/lost_to_resets]). *)
+
 val churn_to_json :
   Experiment.churn_row list * Experiment.churn_summary list -> string
 (** The full churn sweep as one JSON object: per-instance rows (protocol,
-    instance, seed, verdict or error) and the per-protocol summary with
+    instance, seed, verdict + counters, or error) and the per-protocol summary with
     verdict tallies. *)
 
 val bars_to_csv : (Runner.protocol * Stat.summary) list -> string

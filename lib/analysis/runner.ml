@@ -8,6 +8,12 @@ let protocol_name = function
   | Rbgp -> "R-BGP"
   | Stamp -> "STAMP"
 
+let engine_of_protocol : protocol -> (module Engine.S) = function
+  | Bgp -> Bgp_engine.engine
+  | Rbgp_no_rci -> Rbgp_engine.no_rci
+  | Rbgp -> Rbgp_engine.rci
+  | Stamp -> Stamp_engine.default
+
 type budget = { max_events : int; max_vtime : float }
 
 (* Generous enough that no paper workload ever hits it: the figure
@@ -24,116 +30,46 @@ type result = {
   messages_initial : int;
   messages_event : int;
   checkpoints : int;
+  counters : Counters.t;
   verdict : Sim.verdict;
 }
 
-(* The per-protocol operations the driver needs, bundled as a record of
-   closures over the protocol's network value. *)
-type driver = {
-  start : unit -> unit;
-  fail_link : Topology.vertex -> Topology.vertex -> unit;
-  fail_node : Topology.vertex -> unit;
-  deny_export : Topology.vertex -> Topology.vertex -> unit;
-  recover_link : Topology.vertex -> Topology.vertex -> unit;
-  recover_node : Topology.vertex -> unit;
-  allow_export : Topology.vertex -> Topology.vertex -> unit;
-  probe : unit -> Fwd_walk.status array;
-  messages : unit -> int;
-  last_change : unit -> float;
-}
-
-let make_driver ~seed ~mrai_base ?(detect_delay = 0.) protocol sim topo ~dest
-    : driver =
-  match protocol with
-  | Bgp ->
-    let net = Bgp_net.create sim topo ~dest ~mrai_base () in
-    {
-      start = (fun () -> Bgp_net.start net);
-      fail_link = (fun u v -> Bgp_net.fail_link ~detect_delay net u v);
-      fail_node = Bgp_net.fail_node net;
-      deny_export = Bgp_net.deny_export net;
-      recover_link = Bgp_net.recover_link net;
-      recover_node = Bgp_net.recover_node net;
-      allow_export = Bgp_net.allow_export net;
-      probe = (fun () -> Bgp_net.walk_all net);
-      messages = (fun () -> Bgp_net.message_count net);
-      last_change = (fun () -> Bgp_net.last_change net);
-    }
-  | Rbgp_no_rci | Rbgp ->
-    let rci = protocol = Rbgp in
-    let net = Rbgp_net.create sim topo ~dest ~rci ~mrai_base () in
-    {
-      start = (fun () -> Rbgp_net.start net);
-      fail_link = (fun u v -> Rbgp_net.fail_link ~detect_delay net u v);
-      fail_node = Rbgp_net.fail_node net;
-      deny_export = Rbgp_net.deny_export net;
-      recover_link = Rbgp_net.recover_link net;
-      recover_node = Rbgp_net.recover_node net;
-      allow_export = Rbgp_net.allow_export net;
-      probe = (fun () -> Rbgp_net.walk_all net);
-      messages = (fun () -> Rbgp_net.message_count net);
-      last_change = (fun () -> Rbgp_net.last_change net);
-    }
-  | Stamp ->
-    let coloring = Coloring.create Coloring.Random_choice ~seed topo ~dest in
-    let net = Stamp_net.create sim topo ~dest ~coloring ~mrai_base () in
-    {
-      start = (fun () -> Stamp_net.start net);
-      fail_link = (fun u v -> Stamp_net.fail_link ~detect_delay net u v);
-      fail_node = Stamp_net.fail_node net;
-      deny_export = Stamp_net.deny_export net;
-      recover_link = Stamp_net.recover_link net;
-      recover_node = Stamp_net.recover_node net;
-      allow_export = Stamp_net.allow_export net;
-      probe = (fun () -> Stamp_net.walk_all net);
-      messages = (fun () -> Stamp_net.message_count net);
-      last_change = (fun () -> Stamp_net.last_change net);
-    }
-
-let make_stamp_driver ~seed ~mrai_base ?(detect_delay = 0.)
-    ~spread_unlocked_blue ~strategy sim topo ~dest : driver =
-  let coloring = Coloring.create strategy ~seed topo ~dest in
-  let net =
-    Stamp_net.create sim topo ~dest ~coloring ~mrai_base ~spread_unlocked_blue
-      ()
+(* Apply one scenario event through the packed engine; [At] defers the inner
+   event on the simulation clock, so churn streams interleave with the
+   protocol's own reaction. An engine refusing an event kind surfaces as a
+   clear [Invalid_argument] naming the engine and the kind. *)
+let rec inject (net : Engine.instance) sim event =
+  let apply f =
+    try f ()
+    with Engine.Unsupported { engine; what } ->
+      invalid_arg
+        (Printf.sprintf "Runner: the %s engine does not support %s events"
+           engine what)
   in
-    {
-      start = (fun () -> Stamp_net.start net);
-      fail_link = (fun u v -> Stamp_net.fail_link ~detect_delay net u v);
-      fail_node = Stamp_net.fail_node net;
-      deny_export = Stamp_net.deny_export net;
-      recover_link = Stamp_net.recover_link net;
-      recover_node = Stamp_net.recover_node net;
-      allow_export = Stamp_net.allow_export net;
-      probe = (fun () -> Stamp_net.walk_all net);
-      messages = (fun () -> Stamp_net.message_count net);
-      last_change = (fun () -> Stamp_net.last_change net);
-    }
+  match event with
+  | Scenario.Fail_link (u, v) -> apply (fun () -> Engine.fail_link net u v)
+  | Scenario.Fail_node v -> apply (fun () -> Engine.fail_node net v)
+  | Scenario.Deny_export (u, v) -> apply (fun () -> Engine.deny_export net u v)
+  | Scenario.Recover_link (u, v) ->
+    apply (fun () -> Engine.recover_link net u v)
+  | Scenario.Recover_node v -> apply (fun () -> Engine.recover_node net v)
+  | Scenario.Allow_export (u, v) ->
+    apply (fun () -> Engine.allow_export net u v)
+  | Scenario.At (dt, e) ->
+    Sim.schedule sim ~delay:dt (fun _ -> inject net sim e)
 
-(* Apply one scenario event through the driver; [At] defers the inner event
-   on the simulation clock, so churn streams interleave with the
-   protocol's own reaction. *)
-let rec inject (d : driver) sim = function
-  | Scenario.Fail_link (u, v) -> d.fail_link u v
-  | Scenario.Fail_node v -> d.fail_node v
-  | Scenario.Deny_export (u, v) -> d.deny_export u v
-  | Scenario.Recover_link (u, v) -> d.recover_link u v
-  | Scenario.Recover_node v -> d.recover_node v
-  | Scenario.Allow_export (u, v) -> d.allow_export u v
-  | Scenario.At (dt, e) -> Sim.schedule sim ~delay:dt (fun _ -> inject d sim e)
-
-let measure ~interval ~budget (spec : Scenario.spec) sim (d : driver) =
-  d.start ();
+let measure ~interval ~budget (spec : Scenario.spec) sim net =
+  Engine.start net;
   let initial_verdict =
     Sim.run_guarded sim ~until:budget.max_vtime ~max_events:budget.max_events
   in
-  let messages_initial = d.messages () in
+  let messages_initial = Engine.message_count net in
   let event_time = Sim.now sim in
   match initial_verdict with
   | Sim.Event_budget_exhausted | Sim.Time_budget_exhausted ->
     (* initial convergence never finished: report what we can see and let
        the verdict flag the row — the sweep goes on *)
-    let final = d.probe () in
+    let final = Engine.probe net in
     let broken =
       Array.fold_left
         (fun acc s ->
@@ -148,15 +84,17 @@ let measure ~interval ~budget (spec : Scenario.spec) sim (d : driver) =
       messages_initial;
       messages_event = 0;
       checkpoints = 1;
+      counters = Counters.snapshot (Engine.counters net);
       verdict = initial_verdict;
     }
   | Sim.Converged ->
-    List.iter (inject d sim) spec.events;
+    List.iter (inject net sim) spec.events;
     let remaining_events = budget.max_events - Sim.events_processed sim in
     let outcome, verdict =
       Transient.run_guarded sim ~interval ~max_events:(max 1 remaining_events)
         ~max_vtime:(event_time +. budget.max_vtime)
-        ~probe:d.probe ()
+        ~probe:(fun () -> Engine.probe net)
+        ()
     in
     let broken_after =
       Array.fold_left
@@ -167,87 +105,62 @@ let measure ~interval ~budget (spec : Scenario.spec) sim (d : driver) =
     {
       transient_count = Transient.transient_count outcome;
       broken_after;
-      convergence_delay = Float.max 0. (d.last_change () -. event_time);
+      convergence_delay = Float.max 0. (Engine.last_change net -. event_time);
       recovery_delay = Float.max 0. (outcome.last_status_change -. event_time);
       messages_initial;
-      messages_event = d.messages () - messages_initial;
+      messages_event = Engine.message_count net - messages_initial;
       checkpoints = outcome.checkpoints;
+      counters = Counters.snapshot (Engine.counters net);
       verdict;
     }
 
-let run ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02) ?(detect_delay = 0.)
-    ?(budget = default_budget) protocol topo (spec : Scenario.spec) =
-  let sim = Sim.create ~seed () in
-  let d =
-    make_driver ~seed ~mrai_base ~detect_delay protocol sim topo
-      ~dest:spec.dest
+let run_engine ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
+    ?(detect_delay = 0.) ?(budget = default_budget) engine topo
+    (spec : Scenario.spec) =
+  let detect_delay =
+    match spec.detect_delay with Some d -> d | None -> detect_delay
   in
-  measure ~interval ~budget spec sim d
+  let sim = Sim.create ~seed () in
+  let config = { Engine.default_config with seed; mrai_base; detect_delay } in
+  let net = Engine.create engine sim topo ~dest:spec.dest config in
+  measure ~interval ~budget spec sim net
 
-let run_stamp ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
+let run ?seed ?mrai_base ?interval ?detect_delay ?budget protocol topo spec =
+  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget
+    (engine_of_protocol protocol) topo spec
+
+let run_stamp ?seed ?mrai_base ?interval ?detect_delay
     ?(spread_unlocked_blue = false) ?(strategy = Coloring.Random_choice)
-    ?(budget = default_budget) topo (spec : Scenario.spec) =
-  let sim = Sim.create ~seed () in
-  let d =
-    make_stamp_driver ~seed ~mrai_base ~spread_unlocked_blue ~strategy sim topo
-      ~dest:spec.dest
-  in
-  measure ~interval ~budget spec sim d
+    ?budget topo spec =
+  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget
+    (Stamp_engine.make ~spread_unlocked_blue ~strategy ())
+    topo spec
 
-(* The hybrid engine models link failure and recovery only (no node or
-   policy machinery at legacy ASes). *)
-let rec hybrid_supported = function
-  | Scenario.Fail_link _ | Scenario.Recover_link _ -> true
-  | Scenario.At (_, e) -> hybrid_supported e
-  | Scenario.Fail_node _ | Scenario.Recover_node _ | Scenario.Deny_export _
-  | Scenario.Allow_export _ ->
-    false
-
-let run_hybrid ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
-    ?(budget = default_budget) ~deployed topo (spec : Scenario.spec) =
-  (* reject unsupported events before any simulation work runs, naming the
-     offending scenario *)
-  if not (List.for_all hybrid_supported spec.events) then
-    invalid_arg
-      (Format.asprintf
-         "Runner.run_hybrid: unsupported event in scenario [%a] — only link \
-          failure/recovery events are supported"
-         (Scenario.pp_spec topo) spec);
-  let sim = Sim.create ~seed () in
-  let net =
-    Hybrid_net.create sim topo ~dest:spec.dest ~deployed ~mrai_base ()
-  in
-  let d =
-    {
-      start = (fun () -> Hybrid_net.start net);
-      fail_link = Hybrid_net.fail_link net;
-      fail_node =
-        (fun _ -> invalid_arg "Runner.run_hybrid: node failures unsupported");
-      deny_export =
-        (fun _ _ -> invalid_arg "Runner.run_hybrid: policy events unsupported");
-      recover_link = Hybrid_net.recover_link net;
-      recover_node =
-        (fun _ -> invalid_arg "Runner.run_hybrid: node recovery unsupported");
-      allow_export =
-        (fun _ _ -> invalid_arg "Runner.run_hybrid: policy events unsupported");
-      probe = (fun () -> Hybrid_net.walk_all net);
-      messages = (fun () -> Hybrid_net.message_count net);
-      last_change = (fun () -> Hybrid_net.last_change net);
-    }
-  in
-  measure ~interval ~budget spec sim d
+let run_hybrid ?seed ?mrai_base ?interval ?detect_delay ?budget ~deployed topo
+    spec =
+  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget
+    (Hybrid_engine.make ~deployed ())
+    topo spec
 
 let run_traffic ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
-    ?(budget = default_budget) protocol topo (spec : Scenario.spec) =
+    ?(detect_delay = 0.) ?(budget = default_budget) protocol topo
+    (spec : Scenario.spec) =
+  let detect_delay =
+    match spec.detect_delay with Some d -> d | None -> detect_delay
+  in
   let sim = Sim.create ~seed () in
-  let d = make_driver ~seed ~mrai_base protocol sim topo ~dest:spec.dest in
-  d.start ();
+  let config = { Engine.default_config with seed; mrai_base; detect_delay } in
+  let net =
+    Engine.create (engine_of_protocol protocol) sim topo ~dest:spec.dest config
+  in
+  Engine.start net;
   ignore
     (Sim.run_guarded sim ~until:budget.max_vtime ~max_events:budget.max_events);
   let event_time = Sim.now sim in
-  List.iter (inject d sim) spec.events;
+  List.iter (inject net sim) spec.events;
   let remaining_events = budget.max_events - Sim.events_processed sim in
   Traffic.observe sim ~interval
     ~max_events:(max 1 remaining_events)
     ~max_vtime:(event_time +. budget.max_vtime)
-    ~probe:d.probe ()
+    ~probe:(fun () -> Engine.probe net)
+    ()

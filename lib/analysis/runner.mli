@@ -1,5 +1,9 @@
-(** Uniform driver: run one (protocol, scenario) pair to convergence and
+(** Uniform driver: run one (engine, scenario) pair to convergence and
     measure transient problems, convergence delay and message overhead.
+
+    The runner is generic over {!Engine.S}: every entry point builds a
+    packed {!Engine.instance} and drives it through one code path — the
+    per-protocol convenience wrappers only choose which engine to pack.
 
     Every entry point is guarded by a {!budget}: no run can hang on a
     diverging or churn-saturated instance — it terminates with a
@@ -12,6 +16,9 @@ val all_protocols : protocol list
 (** In the paper's bar order: BGP, R-BGP without RCI, R-BGP, STAMP. *)
 
 val protocol_name : protocol -> string
+
+val engine_of_protocol : protocol -> (module Engine.S)
+(** The registered engine behind each paper protocol. *)
 
 type budget = {
   max_events : int;  (** whole-run cap on simulation events processed *)
@@ -42,12 +49,38 @@ type result = {
   messages_initial : int;  (** updates sent during initial convergence *)
   messages_event : int;  (** updates sent while reconverging *)
   checkpoints : int;
+  counters : Counters.t;
+      (** whole-run update-traffic breakdown (announcements, withdrawals,
+          MRAI deferrals, messages lost to session resets) — a snapshot, so
+          it stays valid after the run. Its announcements + withdrawals
+          always equal [messages_initial + messages_event]. *)
   verdict : Sim.verdict;
       (** {!Sim.Converged} when the run quiesced; otherwise which budget
           killed it — the other fields then describe the run up to the
           kill point (if initial convergence itself was killed, the
           event was never injected and the event-phase fields are zero) *)
 }
+
+val run_engine :
+  ?seed:int ->
+  ?mrai_base:float ->
+  ?interval:float ->
+  ?detect_delay:float ->
+  ?budget:budget ->
+  (module Engine.S) ->
+  Topology.t ->
+  Scenario.spec ->
+  result
+(** The generic entry point: build the engine's network, converge, inject
+    the scenario's events (immediate ones at the event instant,
+    {!Scenario.At}-wrapped ones on the simulation clock), and monitor
+    reconvergence with {!Transient.run_guarded} under [budget] (default
+    {!default_budget}). [detect_delay] (default 0) postpones the adjacent
+    routers' reaction to link and node failures while the data plane is
+    already broken; a [Scenario.spec.detect_delay] override wins over the
+    argument.
+    @raise Invalid_argument if the engine reports an event kind as
+    {!Engine.Unsupported}; the message names the engine and the kind. *)
 
 val run :
   ?seed:int ->
@@ -59,18 +92,14 @@ val run :
   Topology.t ->
   Scenario.spec ->
   result
-(** Build the protocol's network, converge, inject the scenario's events
-    (immediate ones at the event instant, {!Scenario.At}-wrapped ones on
-    the simulation clock), and monitor reconvergence with
-    {!Transient.run_guarded} under [budget] (default {!default_budget}).
-    STAMP uses {!Coloring.Random_choice} seeded from [seed].
-    [detect_delay] (default 0) postpones the adjacent routers' reaction to
-    link failures while the data plane is already broken. *)
+(** {!run_engine} on {!engine_of_protocol}. STAMP uses
+    {!Coloring.Random_choice} seeded from [seed]. *)
 
 val run_stamp :
   ?seed:int ->
   ?mrai_base:float ->
   ?interval:float ->
+  ?detect_delay:float ->
   ?spread_unlocked_blue:bool ->
   ?strategy:Coloring.strategy ->
   ?budget:budget ->
@@ -85,6 +114,7 @@ val run_hybrid :
   ?seed:int ->
   ?mrai_base:float ->
   ?interval:float ->
+  ?detect_delay:float ->
   ?budget:budget ->
   deployed:(Topology.vertex -> bool) ->
   Topology.t ->
@@ -92,15 +122,15 @@ val run_hybrid :
   result
 (** Like {!run} for {!Hybrid_net}: STAMP at the ASes satisfying
     [deployed], plain BGP elsewhere — the dynamic version of the paper's
-    partial-deployment question. Only link failure/recovery events
-    (possibly {!Scenario.At}-wrapped) are supported.
-    @raise Invalid_argument before any simulation work if the scenario
-    contains any other event; the message names the scenario. *)
+    partial-deployment question. Supports the full event vocabulary (node
+    failure/recovery and export policy included), like every other
+    engine. *)
 
 val run_traffic :
   ?seed:int ->
   ?mrai_base:float ->
   ?interval:float ->
+  ?detect_delay:float ->
   ?budget:budget ->
   protocol ->
   Topology.t ->

@@ -7,31 +7,39 @@ type event =
   | Allow_export of Topology.vertex * Topology.vertex
   | At of float * event
 
-type spec = { dest : Topology.vertex; events : event list }
+type spec = {
+  dest : Topology.vertex;
+  events : event list;
+  detect_delay : float option;
+}
+
+let rec pp_event topo ppf = function
+  | Fail_link (u, v) ->
+    Format.fprintf ppf "link %d-%d" (Topology.asn topo u) (Topology.asn topo v)
+  | Fail_node v -> Format.fprintf ppf "node %d" (Topology.asn topo v)
+  | Deny_export (u, v) ->
+    Format.fprintf ppf "policy %d-x->%d" (Topology.asn topo u)
+      (Topology.asn topo v)
+  | Recover_link (u, v) ->
+    Format.fprintf ppf "recover link %d-%d" (Topology.asn topo u)
+      (Topology.asn topo v)
+  | Recover_node v -> Format.fprintf ppf "recover node %d" (Topology.asn topo v)
+  | Allow_export (u, v) ->
+    Format.fprintf ppf "policy %d-ok->%d" (Topology.asn topo u)
+      (Topology.asn topo v)
+  | At (dt, e) -> Format.fprintf ppf "@@%g %a" dt (pp_event topo) e
 
 let pp_spec topo ppf s =
-  let rec pp_event ppf = function
-    | Fail_link (u, v) ->
-      Format.fprintf ppf "link %d-%d" (Topology.asn topo u) (Topology.asn topo v)
-    | Fail_node v -> Format.fprintf ppf "node %d" (Topology.asn topo v)
-    | Deny_export (u, v) ->
-      Format.fprintf ppf "policy %d-x->%d" (Topology.asn topo u)
-        (Topology.asn topo v)
-    | Recover_link (u, v) ->
-      Format.fprintf ppf "recover link %d-%d" (Topology.asn topo u)
-        (Topology.asn topo v)
-    | Recover_node v ->
-      Format.fprintf ppf "recover node %d" (Topology.asn topo v)
-    | Allow_export (u, v) ->
-      Format.fprintf ppf "policy %d-ok->%d" (Topology.asn topo u)
-        (Topology.asn topo v)
-    | At (dt, e) -> Format.fprintf ppf "@@%g %a" dt pp_event e
-  in
   Format.fprintf ppf "dest=%d fail=[%a]" (Topology.asn topo s.dest)
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
-       pp_event)
-    s.events
+       (pp_event topo))
+    s.events;
+  (* absent for [None] so every scenario string pinned before the field
+     existed is unchanged *)
+  match s.detect_delay with
+  | None -> ()
+  | Some d -> Format.fprintf ppf " detect=%g" d
 
 let random_multi_homed st topo =
   let mh = Topology.multi_homed topo in
@@ -43,7 +51,7 @@ let single_link st topo =
   let dest = random_multi_homed st topo in
   let provs = Topology.providers topo dest in
   let p = provs.(Random.State.int st (Array.length provs)) in
-  { dest; events = [ Fail_link (dest, p) ] }
+  { dest; events = [ Fail_link (dest, p) ]; detect_delay = None }
 
 (* Provider links in the uphill cone of [dest], excluding any link touching
    one of the [avoid] vertices. *)
@@ -84,7 +92,10 @@ let two_links_apart =
       | [] -> None (* cone too small: resample *)
       | links ->
         let x, px = List.nth links (Random.State.int st (List.length links)) in
-        Some { dest; events = [ Fail_link (dest, p); Fail_link (x, px) ] })
+        Some
+          { dest;
+            events = [ Fail_link (dest, p); Fail_link (x, px) ];
+            detect_delay = None })
 
 let two_links_shared =
   with_resampling "two_links_shared" (fun st topo ->
@@ -99,19 +110,22 @@ let two_links_shared =
         let p = List.nth provs (Random.State.int st (List.length provs)) in
         let pps = Topology.providers topo p in
         let pp = pps.(Random.State.int st (Array.length pps)) in
-        Some { dest; events = [ Fail_link (dest, p); Fail_link (p, pp) ] })
+        Some
+          { dest;
+            events = [ Fail_link (dest, p); Fail_link (p, pp) ];
+            detect_delay = None })
 
 let node_failure st topo =
   let dest = random_multi_homed st topo in
   let provs = Topology.providers topo dest in
   let p = provs.(Random.State.int st (Array.length provs)) in
-  { dest; events = [ Fail_node p ] }
+  { dest; events = [ Fail_node p ]; detect_delay = None }
 
 let policy_withdraw st topo =
   let dest = random_multi_homed st topo in
   let provs = Topology.providers topo dest in
   let p = provs.(Random.State.int st (Array.length provs)) in
-  { dest; events = [ Deny_export (dest, p) ] }
+  { dest; events = [ Deny_export (dest, p) ]; detect_delay = None }
 
 (* --- Churn workloads ---------------------------------------------------- *)
 
@@ -130,7 +144,7 @@ let flap ~period ~count st topo =
       :: At (t0 +. (period /. 2.), Recover_link (dest, p))
       :: !events
   done;
-  { dest; events = !events }
+  { dest; events = !events; detect_delay = None }
 
 (* Exponential inter-arrival time with the given rate, from the seeded RNG.
    [Random.State.float st 1.] is in [0,1), so the log argument stays in
@@ -164,4 +178,4 @@ let churn ~rate ~duration st topo =
     events := At (!t, e) :: !events;
     t := !t +. exp_sample st ~rate
   done;
-  { dest; events = List.rev !events }
+  { dest; events = List.rev !events; detect_delay = None }

@@ -25,9 +25,20 @@ type spec = {
   dest : Topology.vertex;  (** the origin/destination AS *)
   events : event list;
       (** injected after convergence; immediately unless wrapped in {!At} *)
+  detect_delay : float option;
+      (** when set, overrides the runner's failure-detection delay for this
+          scenario: routers adjacent to a failed link or node react this
+          many seconds after the failure instant (the data plane is broken
+          meanwhile). [None] — the generators' default — defers to the
+          runner's [?detect_delay] argument. *)
 }
 
+val pp_event : Topology.t -> Format.formatter -> event -> unit
+
 val pp_spec : Topology.t -> Format.formatter -> spec -> unit
+(** Prints destination and events; a [detect_delay] override is appended as
+    [detect=...] only when present, so historical scenario strings are
+    unchanged. *)
 
 val with_resampling :
   ?attempts:int ->

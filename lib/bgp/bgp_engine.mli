@@ -1,0 +1,4 @@
+(** {!Bgp_net} packed as a first-class {!Engine.S}, registered in the
+    {!Engine.Registry} under ["BGP"] at module initialisation. *)
+
+val engine : (module Engine.S)

@@ -7,22 +7,17 @@ type router = {
   rib_out : (Topology.vertex, Topology.vertex list) Hashtbl.t;
   export_deny : (Topology.vertex, unit) Hashtbl.t;
       (** neighbours this router's policy currently forbids exporting to *)
-  mrai : (Topology.vertex, Mrai.t) Hashtbl.t;
-  chans : (Topology.vertex, msg Channel.t) Hashtbl.t;
 }
 
 type t = {
-  sim : Sim.t;
+  core : msg Session_core.t;
   topo : Topology.t;
   dest : Topology.vertex;
   routers : router array;
-  links : Link_state.t;
-  mutable messages : int;
-  mutable last_change : float;
   mutable route_changes : int;
 }
 
-let sim t = t.sim
+let sim t = Session_core.sim t.core
 let topology t = t.topo
 let dest t = t.dest
 
@@ -31,49 +26,23 @@ let rel_exn t u v =
   | Some r -> r
   | None -> invalid_arg "Bgp_net: vertices not adjacent"
 
-(* --- sending ------------------------------------------------------- *)
+(* --- advertisement: policy on top of the shared skeleton ------------- *)
 
-let send t r n msg =
-  t.messages <- t.messages + 1;
-  Channel.send (Hashtbl.find r.chans n) msg
-
-(* Reconcile what neighbour [n] should currently hear from [r] with what
-   it last heard; send the delta, deferring announcements under MRAI. *)
 let rec advertise_to t r n =
-  if Link_state.link_up t.links r.v n then begin
-    let to_rel = rel_exn t r.v n in
-    let desired =
-      match r.best with
-      | Some b
-        when Route.learned_from b <> Some n
-             && Export.exportable b ~to_rel
-             && not (Hashtbl.mem r.export_deny n) ->
-        Some (r.v :: b.as_path)
-      | Some _ | None -> None
-    in
-    let current = Hashtbl.find_opt r.rib_out n in
-    match (desired, current) with
-    | None, None -> ()
-    | None, Some _ ->
-      (* withdrawals are immediate *)
-      Hashtbl.remove r.rib_out n;
-      send t r n Withdraw
-    | Some p, Some p' when p = p' -> ()
-    | Some p, (Some _ | None) ->
-      let m = Hashtbl.find r.mrai n in
-      let now = Sim.now t.sim in
-      if Mrai.ready m ~now then begin
-        Mrai.note_sent m ~now;
-        Hashtbl.replace r.rib_out n p;
-        send t r n (Announce p)
-      end
-      else if not (Mrai.flush_scheduled m) then begin
-        Mrai.set_flush_scheduled m true;
-        Sim.schedule_at t.sim ~time:(Mrai.next_allowed m) (fun _ ->
-            Mrai.set_flush_scheduled m false;
-            advertise_to t r n)
-      end
-  end
+  let desired =
+    match r.best with
+    | Some b
+      when Route.learned_from b <> Some n
+           && Export.exportable b ~to_rel:(rel_exn t r.v n)
+           && not (Hashtbl.mem r.export_deny n) ->
+      Some (r.v :: b.as_path)
+    | Some _ | None -> None
+  in
+  Session_core.advertise t.core ~src:r.v ~dst:n ~rib_out:r.rib_out ~desired
+    ~announce:(fun p -> Announce p)
+    ~withdraw:(fun () -> Withdraw)
+    ~retry:(fun () -> advertise_to t r n)
+    ()
 
 let advertise_all t r =
   Array.iter (fun (n, _) -> advertise_to t r n) (Topology.neighbors t.topo r.v)
@@ -86,7 +55,7 @@ let recompute t r =
   in
   if best' <> r.best then begin
     r.best <- best';
-    t.last_change <- Sim.now t.sim;
+    Session_core.note_change t.core;
     t.route_changes <- t.route_changes + 1;
     advertise_all t r
   end
@@ -94,7 +63,7 @@ let recompute t r =
 (* --- receiving ----------------------------------------------------- *)
 
 let receive t r ~from msg =
-  if Link_state.node_up t.links r.v then begin
+  if Session_core.node_up t.core r.v then begin
     (match msg with
     | Announce path ->
       if List.mem r.v path then
@@ -111,7 +80,7 @@ let receive t r ~from msg =
 (* --- construction -------------------------------------------------- *)
 
 let create sim topo ~dest ?(mrai_base = 30.) ?(delay_lo = 0.010)
-    ?(delay_hi = 0.020) () =
+    ?(delay_hi = 0.020) ?(detect_delay = 0.) () =
   let n = Topology.num_vertices topo in
   if dest < 0 || dest >= n then invalid_arg "Bgp_net.create: bad destination";
   let routers =
@@ -122,37 +91,15 @@ let create sim topo ~dest ?(mrai_base = 30.) ?(delay_lo = 0.010)
           adj_rib_in = Hashtbl.create 8;
           rib_out = Hashtbl.create 8;
           export_deny = Hashtbl.create 2;
-          mrai = Hashtbl.create 8;
-          chans = Hashtbl.create 8;
         })
   in
-  let t =
-    {
-      sim;
-      topo;
-      dest;
-      routers;
-      links = Link_state.create ~n;
-      messages = 0;
-      last_change = 0.;
-      route_changes = 0;
-    }
+  let core =
+    Session_core.create ~mrai_base ~delay_lo ~delay_hi ~detect_delay
+      ~who:"Bgp_net" sim topo
   in
-  (* channels and MRAI state for every directed link *)
-  Array.iter
-    (fun u ->
-      Array.iter
-        (fun (v, _) ->
-          let deliver msg =
-            (* messages in flight when a link fails are lost *)
-            if Link_state.link_up t.links u v then
-              receive t routers.(v) ~from:u msg
-          in
-          Hashtbl.replace routers.(u).chans v
-            (Channel.create sim ~delay_lo ~delay_hi ~deliver);
-          Hashtbl.replace routers.(u).mrai v (Mrai.create (Sim.rng sim) ~base:mrai_base ()))
-        (Topology.neighbors topo u))
-    (Topology.vertices topo);
+  let t = { core; topo; dest; routers; route_changes = 0 } in
+  Session_core.on_receive core (fun ~src ~dst msg ->
+      receive t t.routers.(dst) ~from:src msg);
   t
 
 let start t = recompute t t.routers.(t.dest)
@@ -166,32 +113,21 @@ let drop_session t u v =
   Hashtbl.remove rv.adj_rib_in u;
   Hashtbl.remove rv.rib_out u
 
-let fail_link ?(detect_delay = 0.) t u v =
-  if Topology.rel t.topo u v = None then
-    invalid_arg "Bgp_net.fail_link: vertices not adjacent";
-  if detect_delay < 0. then invalid_arg "Bgp_net.fail_link: negative delay";
-  (* the data plane breaks immediately; the control plane reacts once the
-     session failure is detected (hold timers, BFD, ...) *)
-  Link_state.fail_link t.links u v;
-  let react _ =
-    drop_session t u v;
-    recompute t t.routers.(u);
-    recompute t t.routers.(v)
-  in
-  if detect_delay = 0. then react t.sim
-  else Sim.schedule t.sim ~delay:detect_delay react
+let fail_link t u v =
+  Session_core.fail_link t.core u v ~react:(fun () ->
+      drop_session t u v;
+      recompute t t.routers.(u);
+      recompute t t.routers.(v))
 
 let recover_link t u v =
-  if Topology.rel t.topo u v = None then
-    invalid_arg "Bgp_net.recover_link: vertices not adjacent";
-  Link_state.recover_link t.links u v;
-  drop_session t u v;
-  (* session re-establishes: each side advertises its current best *)
-  advertise_to t t.routers.(u) v;
-  advertise_to t t.routers.(v) u
+  Session_core.recover_link t.core u v ~react:(fun () ->
+      drop_session t u v;
+      (* session re-establishes: each side advertises its current best *)
+      advertise_to t t.routers.(u) v;
+      advertise_to t t.routers.(v) u)
 
 let fail_node t v =
-  Link_state.fail_node t.links v;
+  Session_core.fail_node t.core v;
   let r = t.routers.(v) in
   Hashtbl.reset r.adj_rib_in;
   Hashtbl.reset r.rib_out;
@@ -205,7 +141,7 @@ let fail_node t v =
     (Topology.neighbors t.topo v)
 
 let recover_node t v =
-  Link_state.recover_node t.links v;
+  Session_core.recover_node t.core v;
   let r = t.routers.(v) in
   (* re-originates if [v] is the destination; otherwise the RIBs are empty
      and best stays None until neighbours re-announce *)
@@ -218,14 +154,12 @@ let recover_node t v =
     (Topology.neighbors t.topo v)
 
 let deny_export t v n =
-  if Topology.rel t.topo v n = None then
-    invalid_arg "Bgp_net.deny_export: vertices not adjacent";
+  Session_core.check_adjacent t.core ~op:"deny_export" v n;
   Hashtbl.replace t.routers.(v).export_deny n ();
   advertise_to t t.routers.(v) n
 
 let allow_export t v n =
-  if Topology.rel t.topo v n = None then
-    invalid_arg "Bgp_net.allow_export: vertices not adjacent";
+  Session_core.check_adjacent t.core ~op:"allow_export" v n;
   Hashtbl.remove t.routers.(v).export_deny n;
   advertise_to t t.routers.(v) n
 
@@ -246,8 +180,9 @@ let to_table t : Static_route.table =
     t.routers
 
 let walk_all t =
+  let links = Session_core.links t.core in
   let step v () =
-    if not (Link_state.node_up t.links v) then `Drop
+    if not (Link_state.node_up links v) then `Drop
     else
       match t.routers.(v).best with
       | None -> `Drop
@@ -255,7 +190,7 @@ let walk_all t =
         match Route.learned_from b with
         | None -> `Drop (* origin route away from dest: cannot happen *)
         | Some nh ->
-          if Link_state.link_up t.links v nh then `Forward (nh, ()) else `Drop
+          if Link_state.link_up links v nh then `Forward (nh, ()) else `Drop
       end
   in
   Fwd_walk.walk_all
@@ -266,6 +201,7 @@ let walk_all t =
     ~state_id:(fun () -> 0)
     ~num_states:1
 
-let message_count t = t.messages
-let last_change t = t.last_change
+let message_count t = Session_core.message_count t.core
+let last_change t = Session_core.last_change t.core
 let route_changes t = t.route_changes
+let counters t = Session_core.counters t.core

@@ -20,9 +20,13 @@ val create :
   ?mrai_base:float ->
   ?delay_lo:float ->
   ?delay_hi:float ->
+  ?detect_delay:float ->
   unit ->
   t
-(** Build routers and channels. Nothing is announced until {!start}. *)
+(** Build routers and channels ({!Session_core}). Nothing is announced
+    until {!start}. [detect_delay] (default 0 — instantaneous detection)
+    postpones the control-plane reaction to every subsequent {!fail_link}
+    while the data plane is already broken. *)
 
 val start : t -> unit
 (** The destination announces its own prefix to all neighbours (time 0 of
@@ -34,13 +38,12 @@ val dest : t -> Topology.vertex
 
 (** {1 Failure injection} — take effect at the current simulation time. *)
 
-val fail_link :
-  ?detect_delay:float -> t -> Topology.vertex -> Topology.vertex -> unit
+val fail_link : t -> Topology.vertex -> Topology.vertex -> unit
 (** Bring a link down: the data plane breaks immediately (packets crossing
-    the link are lost) and, after [detect_delay] seconds (default 0 —
-    instantaneous detection), both end routers flush the peer's routes and
-    withdraw / re-advertise as needed. In-flight messages on the link are
-    lost. @raise Invalid_argument if the vertices are not adjacent. *)
+    the link are lost) and, after the [detect_delay] the network was
+    created with, both end routers flush the peer's routes and withdraw /
+    re-advertise as needed. In-flight messages on the link are lost.
+    @raise Invalid_argument if the vertices are not adjacent. *)
 
 val recover_link : t -> Topology.vertex -> Topology.vertex -> unit
 (** Bring a link back: the session re-establishes and both sides
@@ -90,3 +93,6 @@ val last_change : t -> float
 
 val route_changes : t -> int
 (** Total number of best-route changes across all routers. *)
+
+val counters : t -> Counters.t
+(** The engine's live {!Session_core} update counters. *)

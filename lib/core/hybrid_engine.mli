@@ -1,0 +1,13 @@
+(** {!Hybrid_net} packed as a first-class {!Engine.S}. {!make} closes over
+    the deployment predicate; the full-deployment instance is registered
+    under ["STAMP-BGP hybrid (full deployment)"] so the conformance suite
+    exercises the hybrid lifecycle alongside the four paper engines. *)
+
+val full : (module Engine.S)
+
+val make :
+  ?name:string ->
+  deployed:(Topology.vertex -> bool) ->
+  unit ->
+  (module Engine.S)
+(** A hybrid engine at the given deployment (not registered). *)

@@ -7,21 +7,17 @@ type router = {
   mutable backup : Route.t option; (* upgraded only: the blue table *)
   adj_rib_in : (Topology.vertex, Route.t) Hashtbl.t;
   rib_out : (Topology.vertex, Topology.vertex list) Hashtbl.t;
-  mrai : (Topology.vertex, Mrai.t) Hashtbl.t;
-  chans : (Topology.vertex, msg Channel.t) Hashtbl.t;
+  export_deny : (Topology.vertex, unit) Hashtbl.t;
 }
 
 type t = {
-  sim : Sim.t;
+  core : msg Session_core.t;
   topo : Topology.t;
   dest : Topology.vertex;
   routers : router array;
-  links : Link_state.t;
-  mutable messages : int;
-  mutable last_change : float;
 }
 
-let sim t = t.sim
+let sim t = Session_core.sim t.core
 let dest t = t.dest
 let is_deployed t v = t.routers.(v).upgraded
 
@@ -30,44 +26,23 @@ let rel_exn t u v =
   | Some r -> r
   | None -> invalid_arg "Hybrid_net: vertices not adjacent"
 
-let send t r n msg =
-  t.messages <- t.messages + 1;
-  Channel.send (Hashtbl.find r.chans n) msg
-
 (* --- the plain-BGP control plane (identical to Bgp_net) --------------- *)
 
 let rec advertise_to t r n =
-  if Link_state.link_up t.links r.v n then begin
-    let to_rel = rel_exn t r.v n in
-    let desired =
-      match r.best with
-      | Some b
-        when Route.learned_from b <> Some n && Export.exportable b ~to_rel ->
-        Some (r.v :: b.as_path)
-      | Some _ | None -> None
-    in
-    let current = Hashtbl.find_opt r.rib_out n in
-    match (desired, current) with
-    | None, None -> ()
-    | None, Some _ ->
-      Hashtbl.remove r.rib_out n;
-      send t r n Withdraw
-    | Some p, Some p' when p = p' -> ()
-    | Some p, (Some _ | None) ->
-      let m = Hashtbl.find r.mrai n in
-      let now = Sim.now t.sim in
-      if Mrai.ready m ~now then begin
-        Mrai.note_sent m ~now;
-        Hashtbl.replace r.rib_out n p;
-        send t r n (Announce p)
-      end
-      else if not (Mrai.flush_scheduled m) then begin
-        Mrai.set_flush_scheduled m true;
-        Sim.schedule_at t.sim ~time:(Mrai.next_allowed m) (fun _ ->
-            Mrai.set_flush_scheduled m false;
-            advertise_to t r n)
-      end
-  end
+  let desired =
+    match r.best with
+    | Some b
+      when Route.learned_from b <> Some n
+           && Export.exportable b ~to_rel:(rel_exn t r.v n)
+           && not (Hashtbl.mem r.export_deny n) ->
+      Some (r.v :: b.as_path)
+    | Some _ | None -> None
+  in
+  Session_core.advertise t.core ~src:r.v ~dst:n ~rib_out:r.rib_out ~desired
+    ~announce:(fun p -> Announce p)
+    ~withdraw:(fun () -> Withdraw)
+    ~retry:(fun () -> advertise_to t r n)
+    ()
 
 let advertise_all t r =
   Array.iter (fun (n, _) -> advertise_to t r n) (Topology.neighbors t.topo r.v)
@@ -113,14 +88,14 @@ let recompute t r =
   in
   if best' <> r.best then begin
     r.best <- best';
-    t.last_change <- Sim.now t.sim;
+    Session_core.note_change t.core;
     recompute_backup t r;
     advertise_all t r
   end
   else recompute_backup t r
 
 let receive t r ~from msg =
-  if Link_state.node_up t.links r.v then begin
+  if Session_core.node_up t.core r.v then begin
     (match msg with
     | Announce path ->
       if List.mem r.v path then Hashtbl.remove r.adj_rib_in from
@@ -134,7 +109,7 @@ let receive t r ~from msg =
 (* --- construction ------------------------------------------------------ *)
 
 let create sim topo ~dest ~deployed ?(mrai_base = 30.) ?(delay_lo = 0.010)
-    ?(delay_hi = 0.020) () =
+    ?(delay_hi = 0.020) ?(detect_delay = 0.) () =
   let n = Topology.num_vertices topo in
   if dest < 0 || dest >= n then invalid_arg "Hybrid_net.create: bad destination";
   let routers =
@@ -146,35 +121,16 @@ let create sim topo ~dest ~deployed ?(mrai_base = 30.) ?(delay_lo = 0.010)
           backup = None;
           adj_rib_in = Hashtbl.create 8;
           rib_out = Hashtbl.create 8;
-          mrai = Hashtbl.create 8;
-          chans = Hashtbl.create 8;
+          export_deny = Hashtbl.create 2;
         })
   in
-  let t =
-    {
-      sim;
-      topo;
-      dest;
-      routers;
-      links = Link_state.create ~n;
-      messages = 0;
-      last_change = 0.;
-    }
+  let core =
+    Session_core.create ~mrai_base ~delay_lo ~delay_hi ~detect_delay
+      ~who:"Hybrid_net" sim topo
   in
-  Array.iter
-    (fun u ->
-      Array.iter
-        (fun (v, _) ->
-          let deliver msg =
-            if Link_state.link_up t.links u v then
-              receive t routers.(v) ~from:u msg
-          in
-          Hashtbl.replace routers.(u).chans v
-            (Channel.create sim ~delay_lo ~delay_hi ~deliver);
-          Hashtbl.replace routers.(u).mrai v
-            (Mrai.create (Sim.rng sim) ~base:mrai_base ()))
-        (Topology.neighbors topo u))
-    (Topology.vertices topo);
+  let t = { core; topo; dest; routers } in
+  Session_core.on_receive core (fun ~src ~dst msg ->
+      receive t t.routers.(dst) ~from:src msg);
   t
 
 let start t = recompute t t.routers.(t.dest)
@@ -190,27 +146,57 @@ let drop_session t u v =
   clear t.routers.(u) v;
   clear t.routers.(v) u
 
-let fail_link ?(detect_delay = 0.) t u v =
-  if Topology.rel t.topo u v = None then
-    invalid_arg "Hybrid_net.fail_link: vertices not adjacent";
-  if detect_delay < 0. then invalid_arg "Hybrid_net.fail_link: negative delay";
-  Link_state.fail_link t.links u v;
-  if detect_delay = 0. then drop_session t u v
-  else Sim.schedule t.sim ~delay:detect_delay (fun _ -> drop_session t u v)
+let fail_link t u v =
+  Session_core.fail_link t.core u v ~react:(fun () -> drop_session t u v)
 
 let recover_link t u v =
-  if Topology.rel t.topo u v = None then
-    invalid_arg "Hybrid_net.recover_link: vertices not adjacent";
-  Link_state.recover_link t.links u v;
-  let clear r peer =
-    Hashtbl.remove r.adj_rib_in peer;
-    Hashtbl.remove r.rib_out peer
-  in
-  clear t.routers.(u) v;
-  clear t.routers.(v) u;
-  (* session re-establishes: each side advertises its current best *)
-  advertise_to t t.routers.(u) v;
-  advertise_to t t.routers.(v) u
+  Session_core.recover_link t.core u v ~react:(fun () ->
+      let clear r peer =
+        Hashtbl.remove r.adj_rib_in peer;
+        Hashtbl.remove r.rib_out peer
+      in
+      clear t.routers.(u) v;
+      clear t.routers.(v) u;
+      (* session re-establishes: each side advertises its current best *)
+      advertise_to t t.routers.(u) v;
+      advertise_to t t.routers.(v) u)
+
+let fail_node t v =
+  Session_core.fail_node t.core v;
+  let r = t.routers.(v) in
+  Hashtbl.reset r.adj_rib_in;
+  Hashtbl.reset r.rib_out;
+  r.best <- None;
+  r.backup <- None;
+  Array.iter
+    (fun (n, _) ->
+      let rn = t.routers.(n) in
+      Hashtbl.remove rn.adj_rib_in v;
+      Hashtbl.remove rn.rib_out v;
+      recompute t rn)
+    (Topology.neighbors t.topo v)
+
+let recover_node t v =
+  Session_core.recover_node t.core v;
+  let r = t.routers.(v) in
+  (* re-originates if [v] is the destination; otherwise the RIBs are empty
+     and best stays None until neighbours re-announce *)
+  recompute t r;
+  Array.iter
+    (fun (n, _) ->
+      advertise_to t t.routers.(n) v;
+      advertise_to t r n)
+    (Topology.neighbors t.topo v)
+
+let deny_export t v n =
+  Session_core.check_adjacent t.core ~op:"deny_export" v n;
+  Hashtbl.replace t.routers.(v).export_deny n ();
+  advertise_to t t.routers.(v) n
+
+let allow_export t v n =
+  Session_core.check_adjacent t.core ~op:"allow_export" v n;
+  Hashtbl.remove t.routers.(v).export_deny n;
+  advertise_to t t.routers.(v) n
 
 (* --- observation ----------------------------------------------------------- *)
 
@@ -225,17 +211,18 @@ let has_disjoint_backup t v =
 
 (* packet states: false = primary (never re-coloured), true = switched *)
 let walk_all t =
+  let links = Session_core.links t.core in
   let usable v (route : Route.t option) =
     match route with
     | Some r -> begin
       match Route.learned_from r with
-      | Some nh when Link_state.link_up t.links v nh -> Some nh
+      | Some nh when Link_state.link_up links v nh -> Some nh
       | Some _ | None -> None
     end
     | None -> None
   in
   let step v switched =
-    if not (Link_state.node_up t.links v) then `Drop
+    if not (Link_state.node_up links v) then `Drop
     else begin
       let r = t.routers.(v) in
       if not switched then
@@ -268,5 +255,6 @@ let walk_all t =
     ~state_id:(fun sw -> Bool.to_int sw)
     ~num_states:2
 
-let message_count t = t.messages
-let last_change t = t.last_change
+let message_count t = Session_core.message_count t.core
+let last_change t = Session_core.last_change t.core
+let counters t = Session_core.counters t.core

@@ -30,21 +30,41 @@ val create :
   ?mrai_base:float ->
   ?delay_lo:float ->
   ?delay_hi:float ->
+  ?detect_delay:float ->
   unit ->
   t
+(** Build routers and channels ({!Session_core}). [detect_delay] (default
+    0) postpones the control-plane reaction to every subsequent
+    {!fail_link}. *)
 
 val start : t -> unit
 val sim : t -> Sim.t
 val dest : t -> Topology.vertex
 val is_deployed : t -> Topology.vertex -> bool
 
-val fail_link :
-  ?detect_delay:float -> t -> Topology.vertex -> Topology.vertex -> unit
+val fail_link : t -> Topology.vertex -> Topology.vertex -> unit
 
 val recover_link : t -> Topology.vertex -> Topology.vertex -> unit
 (** Bring a link back: the session re-establishes and both sides
     re-advertise their current best routes (backup tables refresh as the
     RIBs change). *)
+
+val fail_node : t -> Topology.vertex -> unit
+(** Fail an AS entirely (legacy BGP semantics — the blue-table machinery
+    holds no extra per-node protocol state to tear down, so the reset is
+    exactly {!Bgp_net.fail_node}'s). *)
+
+val recover_node : t -> Topology.vertex -> unit
+(** Bring a failed AS back: sessions re-establish and neighbours
+    re-announce; the returning router restarts with empty RIBs and an
+    empty backup table. *)
+
+val deny_export : t -> Topology.vertex -> Topology.vertex -> unit
+(** Policy change: stop exporting to a neighbour (plain BGP semantics; an
+    immediate withdrawal follows if something was advertised). *)
+
+val allow_export : t -> Topology.vertex -> Topology.vertex -> unit
+(** Revert {!deny_export}. *)
 
 val best : t -> Topology.vertex -> Route.t option
 (** The (plain BGP) best route of an AS. *)
@@ -69,3 +89,4 @@ val walk_all : t -> Fwd_walk.status array
 
 val message_count : t -> int
 val last_change : t -> float
+val counters : t -> Counters.t

@@ -1,0 +1,15 @@
+(** {!Stamp_net} packed as a first-class {!Engine.S}. The paper's default
+    variant (random-choice coloring, no unlocked-blue spreading) is
+    registered under ["STAMP"] at module initialisation; {!make} builds
+    ablation variants for the benches. *)
+
+val default : (module Engine.S)
+
+val make :
+  ?spread_unlocked_blue:bool ->
+  ?strategy:Coloring.strategy ->
+  ?name:string ->
+  unit ->
+  (module Engine.S)
+(** An ablation variant (not registered unless you do so yourself). The
+    coloring is drawn per-run from {!Engine.config}[.seed]. *)

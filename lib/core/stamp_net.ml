@@ -11,7 +11,6 @@ type process = {
   mutable best : entry option;
   rib_out : (Topology.vertex, Topology.vertex list * bool) Hashtbl.t;
       (** what was last announced to each neighbour: (path, lock bit) *)
-  mrai : (Topology.vertex, Mrai.t) Hashtbl.t;
   mutable unstable : bool;
   mutable loss_pending : bool;
       (** our next updates are consequences of a route loss (ET=0) *)
@@ -21,22 +20,18 @@ type router = {
   v : Topology.vertex;
   procs : process array; (* indexed by Color.to_int *)
   export_deny : (Topology.vertex, unit) Hashtbl.t;
-  chans : (Topology.vertex, msg Channel.t) Hashtbl.t;
 }
 
 type t = {
-  sim : Sim.t;
+  core : msg Session_core.t;
   topo : Topology.t;
   dest : Topology.vertex;
   coloring : Coloring.t;
   spread_unlocked_blue : bool;
   routers : router array;
-  links : Link_state.t;
-  mutable messages : int;
-  mutable last_change : float;
 }
 
-let sim t = t.sim
+let sim t = Session_core.sim t.core
 let dest t = t.dest
 
 let rel_exn t u v =
@@ -45,10 +40,6 @@ let rel_exn t u v =
   | None -> invalid_arg "Stamp_net: vertices not adjacent"
 
 let proc r color = r.procs.(Color.to_int color)
-
-let send t r n msg =
-  t.messages <- t.messages + 1;
-  Channel.send (Hashtbl.find r.chans n) msg
 
 (* --- selective announcement ----------------------------------------- *)
 
@@ -74,14 +65,14 @@ let designated_provider t r =
   let prefs = Coloring.preference t.coloring r.v in
   let rec scan i =
     if i >= Array.length prefs then None
-    else if Link_state.link_up t.links r.v prefs.(i) then Some prefs.(i)
+    else if Session_core.link_up t.core r.v prefs.(i) then Some prefs.(i)
     else scan (i + 1)
   in
   scan 0
 
 let alive_provider_count t r =
   Array.fold_left
-    (fun acc p -> if Link_state.link_up t.links r.v p then acc + 1 else acc)
+    (fun acc p -> if Session_core.link_up t.core r.v p then acc + 1 else acc)
     0
     (Topology.providers t.topo r.v)
 
@@ -147,34 +138,18 @@ let desired t r n color =
   end
 
 let rec advertise_to t r n color =
-  if Link_state.link_up t.links r.v n then begin
-    let p = proc r color in
-    let want =
-      if Hashtbl.mem r.export_deny n then None else desired t r n color
-    in
-    let current = Hashtbl.find_opt p.rib_out n in
-    match (want, current) with
-    | None, None -> ()
-    | None, Some _ ->
-      Hashtbl.remove p.rib_out n;
-      send t r n { color; body = Withdraw { et_ok = not p.loss_pending } }
-    | Some w, Some c when w = c -> ()
-    | Some ((path, lock) as w), (Some _ | None) ->
-      let m = Hashtbl.find p.mrai n in
-      let now = Sim.now t.sim in
-      if Mrai.ready m ~now then begin
-        Mrai.note_sent m ~now;
-        Hashtbl.replace p.rib_out n w;
-        send t r n
-          { color; body = Announce { path; lock; et_ok = not p.loss_pending } }
-      end
-      else if not (Mrai.flush_scheduled m) then begin
-        Mrai.set_flush_scheduled m true;
-        Sim.schedule_at t.sim ~time:(Mrai.next_allowed m) (fun _ ->
-            Mrai.set_flush_scheduled m false;
-            advertise_to t r n color)
-      end
-  end
+  let p = proc r color in
+  let want =
+    if Hashtbl.mem r.export_deny n then None else desired t r n color
+  in
+  Session_core.advertise t.core ~proc:(Color.to_int color) ~src:r.v ~dst:n
+    ~rib_out:p.rib_out ~desired:want
+    ~announce:(fun (path, lock) ->
+      { color; body = Announce { path; lock; et_ok = not p.loss_pending } })
+    ~withdraw:(fun () ->
+      { color; body = Withdraw { et_ok = not p.loss_pending } })
+    ~retry:(fun () -> advertise_to t r n color)
+    ()
 
 let advertise_all t r =
   Array.iter
@@ -207,7 +182,7 @@ let recompute t r color ~loss =
   in
   if best' <> p.best then begin
     p.best <- best';
-    t.last_change <- Sim.now t.sim;
+    Session_core.note_change t.core;
     if loss then begin
       p.unstable <- true;
       p.loss_pending <- true
@@ -219,7 +194,7 @@ let recompute t r color ~loss =
   end
 
 let receive t r ~from { color; body } =
-  if Link_state.node_up t.links r.v then begin
+  if Session_core.node_up t.core r.v then begin
     let p = proc r color in
     (* the ET bit decides: a poisoning withdrawal sent while a *better*
        route propagates carries ET=1 and must not trigger switching
@@ -244,7 +219,8 @@ let receive t r ~from { color; body } =
 (* --- construction ----------------------------------------------------- *)
 
 let create sim topo ~dest ~coloring ?(mrai_base = 30.) ?(delay_lo = 0.010)
-    ?(delay_hi = 0.020) ?(spread_unlocked_blue = false) () =
+    ?(delay_hi = 0.020) ?(detect_delay = 0.) ?(spread_unlocked_blue = false) ()
+    =
   let n = Topology.num_vertices topo in
   if dest < 0 || dest >= n then invalid_arg "Stamp_net.create: bad destination";
   let routers =
@@ -257,45 +233,21 @@ let create sim topo ~dest ~coloring ?(mrai_base = 30.) ?(delay_lo = 0.010)
                   adj_rib_in = Hashtbl.create 8;
                   best = None;
                   rib_out = Hashtbl.create 8;
-                  mrai = Hashtbl.create 8;
                   unstable = false;
                   loss_pending = false;
                 });
           export_deny = Hashtbl.create 2;
-          chans = Hashtbl.create 8;
         })
   in
-  let t =
-    {
-      sim;
-      topo;
-      dest;
-      coloring;
-      spread_unlocked_blue;
-      routers;
-      links = Link_state.create ~n;
-      messages = 0;
-      last_change = 0.;
-    }
+  (* procs:2 — one MRAI timer per colour per directed link, drawn in
+     Color.all order exactly as before *)
+  let core =
+    Session_core.create ~mrai_base ~delay_lo ~delay_hi ~detect_delay ~procs:2
+      ~who:"Stamp_net" sim topo
   in
-  Array.iter
-    (fun u ->
-      Array.iter
-        (fun (v, _) ->
-          let deliver msg =
-            if Link_state.link_up t.links u v then
-              receive t routers.(v) ~from:u msg
-          in
-          Hashtbl.replace routers.(u).chans v
-            (Channel.create sim ~delay_lo ~delay_hi ~deliver);
-          List.iter
-            (fun color ->
-              Hashtbl.replace
-                (proc routers.(u) color).mrai v
-                (Mrai.create (Sim.rng sim) ~base:mrai_base ()))
-            Color.all)
-        (Topology.neighbors topo u))
-    (Topology.vertices topo);
+  let t = { core; topo; dest; coloring; spread_unlocked_blue; routers } in
+  Session_core.on_receive core (fun ~src ~dst msg ->
+      receive t t.routers.(dst) ~from:src msg);
   t
 
 let start t =
@@ -324,35 +276,28 @@ let drop_session t u v =
   clear t.routers.(u) v;
   clear t.routers.(v) u
 
-let fail_link ?(detect_delay = 0.) t u v =
-  if Topology.rel t.topo u v = None then
-    invalid_arg "Stamp_net.fail_link: vertices not adjacent";
-  if detect_delay < 0. then invalid_arg "Stamp_net.fail_link: negative delay";
-  Link_state.fail_link t.links u v;
-  if detect_delay = 0. then drop_session t u v
-  else Sim.schedule t.sim ~delay:detect_delay (fun _ -> drop_session t u v)
+let fail_link t u v = Session_core.fail_link t.core u v ~react:(fun () -> drop_session t u v)
 
 let recover_link t u v =
-  if Topology.rel t.topo u v = None then
-    invalid_arg "Stamp_net.recover_link: vertices not adjacent";
-  Link_state.recover_link t.links u v;
-  (* both sessions re-establish with empty state; each side re-advertises
-     whatever the selective-announcement plan currently assigns the peer *)
-  let refresh r peer =
-    List.iter
-      (fun color ->
-        let p = proc r color in
-        Hashtbl.remove p.adj_rib_in peer;
-        Hashtbl.remove p.rib_out peer;
-        recompute t r color ~loss:false)
-      Color.all;
-    advertise_all t r
-  in
-  refresh t.routers.(u) v;
-  refresh t.routers.(v) u
+  Session_core.recover_link t.core u v ~react:(fun () ->
+      (* both sessions re-establish with empty state; each side
+         re-advertises whatever the selective-announcement plan currently
+         assigns the peer *)
+      let refresh r peer =
+        List.iter
+          (fun color ->
+            let p = proc r color in
+            Hashtbl.remove p.adj_rib_in peer;
+            Hashtbl.remove p.rib_out peer;
+            recompute t r color ~loss:false)
+          Color.all;
+        advertise_all t r
+      in
+      refresh t.routers.(u) v;
+      refresh t.routers.(v) u)
 
 let fail_node t v =
-  Link_state.fail_node t.links v;
+  Session_core.fail_node t.core v;
   let r = t.routers.(v) in
   List.iter
     (fun color ->
@@ -380,7 +325,7 @@ let fail_node t v =
     (Topology.neighbors t.topo v)
 
 let recover_node t v =
-  Link_state.recover_node t.links v;
+  Session_core.recover_node t.core v;
   let r = t.routers.(v) in
   (* the returning router restarts both processes from scratch *)
   List.iter
@@ -411,8 +356,7 @@ let recover_node t v =
     (Topology.neighbors t.topo v)
 
 let deny_export t v n =
-  if Topology.rel t.topo v n = None then
-    invalid_arg "Stamp_net.deny_export: vertices not adjacent";
+  Session_core.check_adjacent t.core ~op:"deny_export" v n;
   let r = t.routers.(v) in
   Hashtbl.replace r.export_deny n ();
   (* a policy change is a withdrawal-type event: the AS where it happens
@@ -422,13 +366,13 @@ let deny_export t v n =
       let p = proc r color in
       if Hashtbl.mem p.rib_out n then begin
         Hashtbl.remove p.rib_out n;
-        send t r n { color; body = Withdraw { et_ok = false } }
+        Session_core.send t.core ~src:v ~dst:n ~kind:`Withdraw
+          { color; body = Withdraw { et_ok = false } }
       end)
     Color.all
 
 let allow_export t v n =
-  if Topology.rel t.topo v n = None then
-    invalid_arg "Stamp_net.allow_export: vertices not adjacent";
+  Session_core.check_adjacent t.core ~op:"allow_export" v n;
   Hashtbl.remove t.routers.(v).export_deny n;
   List.iter (fun c -> advertise_to t t.routers.(v) n c) Color.all
 
@@ -456,17 +400,18 @@ let in_use t v =
    when that process's route is missing, broken or unstable, re-colour the
    packet — at most once — and use the other process. *)
 let walk_all t =
+  let links = Session_core.links t.core in
   let usable v color =
     match best t color v with
     | Some r -> begin
       match Route.learned_from r with
-      | Some nh when Link_state.link_up t.links v nh -> Some nh
+      | Some nh when Link_state.link_up links v nh -> Some nh
       | Some _ | None -> None
     end
     | None -> None
   in
   let step v (color, switched) =
-    if not (Link_state.node_up t.links v) then `Drop
+    if not (Link_state.node_up links v) then `Drop
     else begin
       let stable c =
         match usable v c with
@@ -515,8 +460,9 @@ let announced t color v =
     (proc t.routers.(v) color).rib_out []
   |> List.sort compare
 
-let message_count t = t.messages
-let last_change t = t.last_change
+let message_count t = Session_core.message_count t.core
+let last_change t = Session_core.last_change t.core
+let counters t = Session_core.counters t.core
 
 let to_table t color : Static_route.table =
   Array.map

@@ -33,10 +33,18 @@ val create :
   ?mrai_base:float ->
   ?delay_lo:float ->
   ?delay_hi:float ->
+  ?detect_delay:float ->
   ?spread_unlocked_blue:bool ->
   unit ->
   t
-(** [spread_unlocked_blue] (default [false]) re-enables the propagation of
+(** [detect_delay] (default 0) postpones the adjacent routers' reaction to
+    every subsequent {!fail_link} while the data plane is already broken
+    (Theorem 5.1 only promises loop/blackhole freedom {e once the adjacent
+    ASes have detected the event}: a positive delay opens a window in
+    which even STAMP drops packets at the dead link, quantified by the
+    `ablation` bench target).
+
+    [spread_unlocked_blue] (default [false]) re-enables the propagation of
     unlocked blue routes to red-less providers — the paper permits but does
     not require it. Kept as an ablation switch: it couples the blue
     process to red churn and measurably worsens STAMP's transient counts
@@ -50,13 +58,9 @@ val dest : t -> Topology.vertex
 
 (** {1 Failure injection} *)
 
-val fail_link :
-  ?detect_delay:float -> t -> Topology.vertex -> Topology.vertex -> unit
-(** Fail a link; the adjacent routers react after [detect_delay] seconds
-    (default 0). Theorem 5.1 only promises loop/blackhole freedom {e once
-    the adjacent ASes have detected the event}: a positive delay opens a
-    window in which even STAMP drops packets at the dead link (quantified
-    by the `ablation` bench target). *)
+val fail_link : t -> Topology.vertex -> Topology.vertex -> unit
+(** Fail a link; the adjacent routers react after the creation-time
+    [detect_delay] (default 0). *)
 
 val fail_node : t -> Topology.vertex -> unit
 
@@ -119,4 +123,8 @@ val message_count : t -> int
     metric: expected below twice the BGP count). *)
 
 val last_change : t -> float
+
+val counters : t -> Counters.t
+(** The engine's live {!Session_core} update counters (both processes). *)
+
 val to_table : t -> Color.t -> Static_route.table

@@ -1,0 +1,99 @@
+(** First-class protocol engines: the full lifecycle every routing process
+    in this repository exposes — construction, start, failure/recovery and
+    policy events, the forwarding-plane probe and the update counters —
+    captured as a module type, plus packed instances and a registry.
+
+    Analysis code (Runner, Experiment, the bench fleet, conformance tests)
+    is generic over {!S}: adding protocol #5 means writing its decision /
+    export / attribute policy on top of {!Session_core}, wrapping it in an
+    [S] implementation, and registering it — nothing else changes. *)
+
+type config = {
+  seed : int;
+      (** protocol-level seeding beyond the simulation RNG (e.g. STAMP's
+          coloring draw) *)
+  mrai_base : float;  (** MRAI base interval in seconds (paper: 30 s) *)
+  delay_lo : float;  (** message-delay lower bound (paper: 10 ms) *)
+  delay_hi : float;  (** message-delay upper bound (paper: 20 ms) *)
+  detect_delay : float;
+      (** seconds between a link failing and the adjacent routers reacting
+          (0 = instantaneous detection) *)
+}
+
+val default_config : config
+(** The paper's parameters: seed 0, MRAI 30 s, delays U[10 ms, 20 ms],
+    instantaneous failure detection. *)
+
+exception Unsupported of { engine : string; what : string }
+(** Raised by an engine for an event kind it genuinely cannot model;
+    [what] names the event kind. The generic Runner turns this into a
+    clear [Invalid_argument]. None of the four built-in engines raise
+    it — it exists for restricted future engines. *)
+
+val unsupported : engine:string -> string -> 'a
+(** [unsupported ~engine what] raises {!Unsupported}. *)
+
+(** The engine lifecycle. All failure/recovery and policy operations take
+    effect at the current simulation time. *)
+module type S = sig
+  type t
+
+  val name : string
+  (** Display name, also the registry key (e.g. ["R-BGP without RCI"]). *)
+
+  val create : Sim.t -> Topology.t -> dest:Topology.vertex -> config -> t
+  (** Build the network for one destination. Nothing is announced until
+      {!start}. *)
+
+  val start : t -> unit
+  (** The destination originates its prefix; run the sim to converge. *)
+
+  val fail_link : t -> Topology.vertex -> Topology.vertex -> unit
+  val recover_link : t -> Topology.vertex -> Topology.vertex -> unit
+  val fail_node : t -> Topology.vertex -> unit
+  val recover_node : t -> Topology.vertex -> unit
+  val deny_export : t -> Topology.vertex -> Topology.vertex -> unit
+  val allow_export : t -> Topology.vertex -> Topology.vertex -> unit
+
+  val probe : t -> Fwd_walk.status array
+  (** Forwarding-plane status of every AS right now. *)
+
+  val message_count : t -> int
+  val last_change : t -> float
+  val counters : t -> Counters.t
+end
+
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+(** A packed engine: implementation and network value together, so driver
+    code can hold heterogeneous engines in one list. *)
+
+val create :
+  (module S) -> Sim.t -> Topology.t -> dest:Topology.vertex -> config -> instance
+
+(** Generic accessors over a packed instance. *)
+
+val name : instance -> string
+val start : instance -> unit
+val fail_link : instance -> Topology.vertex -> Topology.vertex -> unit
+val recover_link : instance -> Topology.vertex -> Topology.vertex -> unit
+val fail_node : instance -> Topology.vertex -> unit
+val recover_node : instance -> Topology.vertex -> unit
+val deny_export : instance -> Topology.vertex -> Topology.vertex -> unit
+val allow_export : instance -> Topology.vertex -> Topology.vertex -> unit
+val probe : instance -> Fwd_walk.status array
+val message_count : instance -> int
+val last_change : instance -> float
+val counters : instance -> Counters.t
+
+(** Name → packed engine mapping. Engines self-register at module
+    initialisation (their adapter modules run [register] as a toplevel
+    effect); registration order is preserved and duplicate names are
+    ignored, so re-registration is harmless. *)
+module Registry : sig
+  val register : (module S) -> unit
+  val find : string -> (module S) option
+  val names : unit -> string list
+
+  val all : unit -> (string * (module S)) list
+  (** Registered engines in registration order. *)
+end

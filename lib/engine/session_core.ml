@@ -1,0 +1,132 @@
+type 'msg t = {
+  sim : Sim.t;
+  topo : Topology.t;
+  who : string;
+  links : Link_state.t;
+  counters : Counters.t;
+  detect_delay : float;
+  chans : (Topology.vertex * Topology.vertex, 'msg Channel.t) Hashtbl.t;
+  mrais : (Topology.vertex * Topology.vertex * int, Mrai.t) Hashtbl.t;
+  mutable last_change : float;
+  mutable handler : src:Topology.vertex -> dst:Topology.vertex -> 'msg -> unit;
+}
+
+let create ?(mrai_base = 30.) ?(delay_lo = 0.010) ?(delay_hi = 0.020)
+    ?(detect_delay = 0.) ?(procs = 1) ~who sim topo =
+  if detect_delay < 0. || Float.is_nan detect_delay then
+    invalid_arg (who ^ ".create: negative detect delay");
+  if procs < 1 then invalid_arg (who ^ ".create: non-positive process count");
+  let core =
+    {
+      sim;
+      topo;
+      who;
+      links = Link_state.create ~n:(Topology.num_vertices topo);
+      counters = Counters.make ();
+      detect_delay;
+      chans = Hashtbl.create 64;
+      mrais = Hashtbl.create 64;
+      last_change = 0.;
+      handler =
+        (fun ~src:_ ~dst:_ _ ->
+          invalid_arg (who ^ ": Session_core receive handler not installed"));
+    }
+  in
+  (* One ordered channel and [procs] MRAI timers per directed link, in the
+     fixed vertices × neighbors iteration order every engine historically
+     used. The order is part of the reproducibility contract: Mrai.create
+     draws one RNG float per timer, so any reordering would shift every
+     later draw and silently change all pinned experiment numbers. *)
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun (v, _) ->
+          let deliver msg =
+            (* messages in flight when a link or endpoint fails are lost *)
+            if Link_state.link_up core.links u v then
+              core.handler ~src:u ~dst:v msg
+            else
+              core.counters.lost_to_resets <-
+                core.counters.lost_to_resets + 1
+          in
+          Hashtbl.replace core.chans (u, v)
+            (Channel.create sim ~delay_lo ~delay_hi ~deliver);
+          for p = 0 to procs - 1 do
+            Hashtbl.replace core.mrais (u, v, p)
+              (Mrai.create (Sim.rng sim) ~base:mrai_base ())
+          done)
+        (Topology.neighbors topo u))
+    (Topology.vertices topo);
+  core
+
+let on_receive core handler = core.handler <- handler
+let sim core = core.sim
+let links core = core.links
+let counters core = core.counters
+let detect_delay core = core.detect_delay
+let link_up core u v = Link_state.link_up core.links u v
+let node_up core v = Link_state.node_up core.links v
+let last_change core = core.last_change
+let note_change core = core.last_change <- Sim.now core.sim
+let message_count core = Counters.messages core.counters
+
+let send core ~src ~dst ~kind msg =
+  (match kind with
+  | `Announce ->
+    core.counters.announcements <- core.counters.announcements + 1
+  | `Withdraw -> core.counters.withdrawals <- core.counters.withdrawals + 1);
+  Channel.send (Hashtbl.find core.chans (src, dst)) msg
+
+(* Reconcile what neighbour [dst] should currently hear from [src] with
+   what it last heard; send the delta, deferring announcements under MRAI.
+   [retry] re-enters the engine's own advertise path when a deferred flush
+   fires, so the desired value is recomputed at flush time. *)
+let advertise core ?(proc = 0) ~src ~dst ~rib_out ~desired ~announce ~withdraw
+    ~retry () =
+  if Link_state.link_up core.links src dst then begin
+    let current = Hashtbl.find_opt rib_out dst in
+    match (desired, current) with
+    | None, None -> ()
+    | None, Some _ ->
+      (* withdrawals are immediate *)
+      Hashtbl.remove rib_out dst;
+      send core ~src ~dst ~kind:`Withdraw (withdraw ())
+    | Some p, Some p' when p = p' -> ()
+    | Some p, (Some _ | None) ->
+      let m = Hashtbl.find core.mrais (src, dst, proc) in
+      let now = Sim.now core.sim in
+      if Mrai.ready m ~now then begin
+        Mrai.note_sent m ~now;
+        Hashtbl.replace rib_out dst p;
+        send core ~src ~dst ~kind:`Announce (announce p)
+      end
+      else begin
+        core.counters.mrai_deferrals <- core.counters.mrai_deferrals + 1;
+        if not (Mrai.flush_scheduled m) then begin
+          Mrai.set_flush_scheduled m true;
+          Sim.schedule_at core.sim ~time:(Mrai.next_allowed m) (fun _ ->
+              Mrai.set_flush_scheduled m false;
+              retry ())
+        end
+      end
+  end
+
+let check_adjacent core ~op u v =
+  if Topology.rel core.topo u v = None then
+    invalid_arg (Printf.sprintf "%s.%s: vertices not adjacent" core.who op)
+
+let fail_link core u v ~react =
+  check_adjacent core ~op:"fail_link" u v;
+  (* the data plane breaks immediately; the control plane reacts once the
+     session failure is detected (hold timers, BFD, ...) *)
+  Link_state.fail_link core.links u v;
+  if core.detect_delay = 0. then react ()
+  else Sim.schedule core.sim ~delay:core.detect_delay (fun _ -> react ())
+
+let recover_link core u v ~react =
+  check_adjacent core ~op:"recover_link" u v;
+  Link_state.recover_link core.links u v;
+  react ()
+
+let fail_node core v = Link_state.fail_node core.links v
+let recover_node core v = Link_state.recover_node core.links v

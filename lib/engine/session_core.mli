@@ -1,0 +1,122 @@
+(** The session substrate every protocol engine shares, implemented once:
+    per-directed-link ordered {!Channel}s with U[10 ms, 20 ms] delays,
+    per-peer (per-process) MRAI timers of 30 s × U[0.75, 1.0] with
+    immediate withdrawals, session-reset semantics on failure (in-flight
+    messages on a dead link are dropped and counted), link/node up-down
+    bookkeeping ({!Link_state}) and the per-engine update {!Counters}.
+
+    A protocol engine built on this core is reduced to its decision,
+    export and attribute policy: it computes {e what} a neighbour should
+    hear and hands the delta to {!advertise}; the core owns {e when} and
+    {e whether} the message travels.
+
+    Reproducibility contract: {!create} draws RNG floats in the exact
+    historical order (channels and MRAI timers per directed link, in
+    vertices × neighbors iteration order; one draw per MRAI timer), and
+    {!send} draws one float per message — so engines ported onto the core
+    reproduce their previous runs bit for bit. *)
+
+type 'msg t
+(** A session core carrying protocol messages of type ['msg]. *)
+
+val create :
+  ?mrai_base:float ->
+  ?delay_lo:float ->
+  ?delay_hi:float ->
+  ?detect_delay:float ->
+  ?procs:int ->
+  who:string ->
+  Sim.t ->
+  Topology.t ->
+  'msg t
+(** Build channels and MRAI state for every directed link. [procs] (default
+    1) is the number of routing processes per router — each gets its own
+    MRAI timer per directed link (STAMP runs two). [detect_delay] (default
+    0) postpones the control-plane reaction to every subsequent
+    {!fail_link} while the data plane is already broken. [who] prefixes
+    error messages (["Bgp_net.fail_link: vertices not adjacent"]).
+    @raise Invalid_argument on a negative [detect_delay] or non-positive
+    [procs]. *)
+
+val on_receive :
+  'msg t -> (src:Topology.vertex -> dst:Topology.vertex -> 'msg -> unit) -> unit
+(** Install the engine's receive function. Must be called before the first
+    message is delivered; kept separate from {!create} so the engine can
+    close over its own state without perturbing construction order. *)
+
+(** {1 Sending} *)
+
+val send :
+  'msg t ->
+  src:Topology.vertex ->
+  dst:Topology.vertex ->
+  kind:[ `Announce | `Withdraw ] ->
+  'msg ->
+  unit
+(** Send one message on the directed link, bumping the matching counter.
+    Used directly for updates outside the MRAI regime (R-BGP failover
+    paths, STAMP's immediate policy withdrawals); regular best-route
+    deltas go through {!advertise}. *)
+
+val advertise :
+  'msg t ->
+  ?proc:int ->
+  src:Topology.vertex ->
+  dst:Topology.vertex ->
+  rib_out:(Topology.vertex, 'adv) Hashtbl.t ->
+  desired:'adv option ->
+  announce:('adv -> 'msg) ->
+  withdraw:(unit -> 'msg) ->
+  retry:(unit -> unit) ->
+  unit ->
+  unit
+(** The shared advertisement skeleton: compare [desired] (what the
+    neighbour should currently hear, [None] for nothing) against
+    [rib_out]'s record of what it last heard, then send the delta —
+    withdrawals immediately, announcements under the [(src, dst, proc)]
+    MRAI timer, deferring with a single scheduled flush when the timer is
+    not ready. [retry] must re-enter the engine's own advertise path (so
+    the desired value is recomputed when the flush fires). No-op while the
+    link is down. *)
+
+(** {1 Failure bookkeeping} *)
+
+val fail_link :
+  'msg t -> Topology.vertex -> Topology.vertex -> react:(unit -> unit) -> unit
+(** Mark the link down (data plane breaks now) and run [react] — the
+    engine's session-reset logic — immediately, or after the core's
+    [detect_delay] if positive.
+    @raise Invalid_argument if the vertices are not adjacent. *)
+
+val recover_link :
+  'msg t -> Topology.vertex -> Topology.vertex -> react:(unit -> unit) -> unit
+(** Mark the link up and run [react] (session re-establishment) at once.
+    @raise Invalid_argument if the vertices are not adjacent. *)
+
+val fail_node : 'msg t -> Topology.vertex -> unit
+val recover_node : 'msg t -> Topology.vertex -> unit
+
+val check_adjacent :
+  'msg t -> op:string -> Topology.vertex -> Topology.vertex -> unit
+(** Validation helper for engine operations on a vertex pair:
+    @raise Invalid_argument ["<who>.<op>: vertices not adjacent"] when the
+    pair shares no link. *)
+
+(** {1 Observation} *)
+
+val sim : 'msg t -> Sim.t
+val links : 'msg t -> Link_state.t
+val link_up : 'msg t -> Topology.vertex -> Topology.vertex -> bool
+val node_up : 'msg t -> Topology.vertex -> bool
+val detect_delay : 'msg t -> float
+
+val counters : 'msg t -> Counters.t
+(** Live counters (mutated as the engine runs); snapshot before storing. *)
+
+val message_count : 'msg t -> int
+(** Updates sent so far (announcements + withdrawals). *)
+
+val last_change : 'msg t -> float
+val note_change : 'msg t -> unit
+(** Engines call this when any router's best route changes; {!last_change}
+    is then the convergence instant once the queue drains. *)

@@ -20,24 +20,19 @@ type router = {
       (** the last best route after it was withdrawn: R-BGP keeps
           forwarding along it until an alternative is learned *)
   export_deny : (Topology.vertex, unit) Hashtbl.t;
-  mrai : (Topology.vertex, Mrai.t) Hashtbl.t;
-  chans : (Topology.vertex, msg Channel.t) Hashtbl.t;
   mutable known_causes : cause list;
   mutable last_cause : cause option;
 }
 
 type t = {
-  sim : Sim.t;
+  core : msg Session_core.t;
   topo : Topology.t;
   dest : Topology.vertex;
   rci : bool;
   routers : router array;
-  links : Link_state.t;
-  mutable messages : int;
-  mutable last_change : float;
 }
 
-let sim t = t.sim
+let sim t = Session_core.sim t.core
 let dest t = t.dest
 
 let rel_exn t u v =
@@ -64,46 +59,23 @@ let path_hits_cause path cause =
     in
     scan path
 
-let send t r n msg =
-  t.messages <- t.messages + 1;
-  Channel.send (Hashtbl.find r.chans n) msg
-
-(* --- primary-route advertisement (same skeleton as Bgp_net) --------- *)
+(* --- primary-route advertisement (shared Session_core skeleton) ------ *)
 
 let rec advertise_to t r n =
-  if Link_state.link_up t.links r.v n then begin
-    let to_rel = rel_exn t r.v n in
-    let desired =
-      match r.best with
-      | Some b
-        when Route.learned_from b <> Some n
-             && Export.exportable b ~to_rel
-             && not (Hashtbl.mem r.export_deny n) ->
-        Some (r.v :: b.as_path)
-      | Some _ | None -> None
-    in
-    let current = Hashtbl.find_opt r.rib_out n in
-    match (desired, current) with
-    | None, None -> ()
-    | None, Some _ ->
-      Hashtbl.remove r.rib_out n;
-      send t r n (Withdraw { rci = r.last_cause })
-    | Some p, Some p' when p = p' -> ()
-    | Some p, (Some _ | None) ->
-      let m = Hashtbl.find r.mrai n in
-      let now = Sim.now t.sim in
-      if Mrai.ready m ~now then begin
-        Mrai.note_sent m ~now;
-        Hashtbl.replace r.rib_out n p;
-        send t r n (Announce { path = p; rci = r.last_cause })
-      end
-      else if not (Mrai.flush_scheduled m) then begin
-        Mrai.set_flush_scheduled m true;
-        Sim.schedule_at t.sim ~time:(Mrai.next_allowed m) (fun _ ->
-            Mrai.set_flush_scheduled m false;
-            advertise_to t r n)
-      end
-  end
+  let desired =
+    match r.best with
+    | Some b
+      when Route.learned_from b <> Some n
+           && Export.exportable b ~to_rel:(rel_exn t r.v n)
+           && not (Hashtbl.mem r.export_deny n) ->
+      Some (r.v :: b.as_path)
+    | Some _ | None -> None
+  in
+  Session_core.advertise t.core ~src:r.v ~dst:n ~rib_out:r.rib_out ~desired
+    ~announce:(fun path -> Announce { path; rci = r.last_cause })
+    ~withdraw:(fun () -> Withdraw { rci = r.last_cause })
+    ~retry:(fun () -> advertise_to t r n)
+    ()
 
 (* --- failover-path advertisement ------------------------------------ *)
 
@@ -151,14 +123,16 @@ let update_failover t r =
     (match r.failover_out with
     | Some (prev, _)
       when (match desired with Some (n, _) -> n <> prev | None -> true)
-           && Link_state.link_up t.links r.v prev ->
-      send t r prev (Failover { path = None; rci = r.last_cause })
+           && Session_core.link_up t.core r.v prev ->
+      Session_core.send t.core ~src:r.v ~dst:prev ~kind:`Withdraw
+        (Failover { path = None; rci = r.last_cause })
     | Some _ | None -> ());
     (match desired with
     | Some (n, p)
-      when Link_state.link_up t.links r.v n
+      when Session_core.link_up t.core r.v n
            && not (Hashtbl.mem r.export_deny n) ->
-      send t r n (Failover { path = Some p; rci = r.last_cause })
+      Session_core.send t.core ~src:r.v ~dst:n ~kind:`Announce
+        (Failover { path = Some p; rci = r.last_cause })
     | Some _ | None -> ());
     r.failover_out <- desired
 
@@ -205,13 +179,13 @@ let recompute t r =
     | _, Some _ -> r.withdrawn <- None
     | None, None -> ());
     r.best <- best';
-    t.last_change <- Sim.now t.sim;
+    Session_core.note_change t.core;
     advertise_all t r
   end
   else update_failover t r
 
 let receive t r ~from msg =
-  if Link_state.node_up t.links r.v then begin
+  if Session_core.node_up t.core r.v then begin
     let rci =
       match msg with
       | Announce { rci; _ } | Withdraw { rci } | Failover { rci; _ } -> rci
@@ -238,7 +212,7 @@ let receive t r ~from msg =
   end
 
 let create sim topo ~dest ~rci ?(mrai_base = 30.) ?(delay_lo = 0.010)
-    ?(delay_hi = 0.020) () =
+    ?(delay_hi = 0.020) ?(detect_delay = 0.) () =
   let n = Topology.num_vertices topo in
   if dest < 0 || dest >= n then invalid_arg "Rbgp_net.create: bad destination";
   let routers =
@@ -252,38 +226,17 @@ let create sim topo ~dest ~rci ?(mrai_base = 30.) ?(delay_lo = 0.010)
           failover_out = None;
           withdrawn = None;
           export_deny = Hashtbl.create 2;
-          mrai = Hashtbl.create 8;
-          chans = Hashtbl.create 8;
           known_causes = [];
           last_cause = None;
         })
   in
-  let t =
-    {
-      sim;
-      topo;
-      dest;
-      rci;
-      routers;
-      links = Link_state.create ~n;
-      messages = 0;
-      last_change = 0.;
-    }
+  let core =
+    Session_core.create ~mrai_base ~delay_lo ~delay_hi ~detect_delay
+      ~who:"Rbgp_net" sim topo
   in
-  Array.iter
-    (fun u ->
-      Array.iter
-        (fun (v, _) ->
-          let deliver msg =
-            if Link_state.link_up t.links u v then
-              receive t routers.(v) ~from:u msg
-          in
-          Hashtbl.replace routers.(u).chans v
-            (Channel.create sim ~delay_lo ~delay_hi ~deliver);
-          Hashtbl.replace routers.(u).mrai v
-            (Mrai.create (Sim.rng sim) ~base:mrai_base ()))
-        (Topology.neighbors topo u))
-    (Topology.vertices topo);
+  let t = { core; topo; dest; rci; routers } in
+  Session_core.on_receive core (fun ~src ~dst msg ->
+      receive t t.routers.(dst) ~from:src msg);
   t
 
 let start t = recompute t t.routers.(t.dest)
@@ -303,51 +256,43 @@ let drop_session t u v =
   | Some (n, _) when n = u -> rv.failover_out <- None
   | Some _ | None -> ()
 
-let fail_link ?(detect_delay = 0.) t u v =
-  if Topology.rel t.topo u v = None then
-    invalid_arg "Rbgp_net.fail_link: vertices not adjacent";
-  if detect_delay < 0. then invalid_arg "Rbgp_net.fail_link: negative delay";
-  Link_state.fail_link t.links u v;
-  let react _ =
-    drop_session t u v;
-    let cause = Link (u, v) in
-    (* adjacent ASes know the root cause by local detection, with or
-       without the RCI protocol extension; [learn_cause] only purges under
-       RCI *)
-    t.routers.(u).last_cause <- Some cause;
-    t.routers.(v).last_cause <- Some cause;
-    learn_cause t t.routers.(u) cause;
-    learn_cause t t.routers.(v) cause;
-    recompute t t.routers.(u);
-    recompute t t.routers.(v)
-  in
-  if detect_delay = 0. then react t.sim
-  else Sim.schedule t.sim ~delay:detect_delay react
+let fail_link t u v =
+  Session_core.fail_link t.core u v ~react:(fun () ->
+      drop_session t u v;
+      let cause = Link (u, v) in
+      (* adjacent ASes know the root cause by local detection, with or
+         without the RCI protocol extension; [learn_cause] only purges under
+         RCI *)
+      t.routers.(u).last_cause <- Some cause;
+      t.routers.(v).last_cause <- Some cause;
+      learn_cause t t.routers.(u) cause;
+      learn_cause t t.routers.(v) cause;
+      recompute t t.routers.(u);
+      recompute t t.routers.(v))
 
 let recover_link t u v =
-  if Topology.rel t.topo u v = None then
-    invalid_arg "Rbgp_net.recover_link: vertices not adjacent";
-  Link_state.recover_link t.links u v;
-  drop_session t u v;
-  (* recovered links clear the corresponding root cause: routes through the
-     link are valid again. [last_cause] must go too, or re-announcements
-     would carry the stale cause and re-poison every receiver. *)
-  let cause = Link (u, v) in
-  let clear_cause r =
-    r.known_causes <-
-      List.filter (fun c -> not (cause_equal c cause)) r.known_causes;
-    match r.last_cause with
-    | Some c when cause_equal c cause -> r.last_cause <- None
-    | Some _ | None -> ()
-  in
-  Array.iter clear_cause t.routers;
-  advertise_to t t.routers.(u) v;
-  advertise_to t t.routers.(v) u;
-  update_failover t t.routers.(u);
-  update_failover t t.routers.(v)
+  Session_core.recover_link t.core u v ~react:(fun () ->
+      drop_session t u v;
+      (* recovered links clear the corresponding root cause: routes through
+         the link are valid again. [last_cause] must go too, or
+         re-announcements would carry the stale cause and re-poison every
+         receiver. *)
+      let cause = Link (u, v) in
+      let clear_cause r =
+        r.known_causes <-
+          List.filter (fun c -> not (cause_equal c cause)) r.known_causes;
+        match r.last_cause with
+        | Some c when cause_equal c cause -> r.last_cause <- None
+        | Some _ | None -> ()
+      in
+      Array.iter clear_cause t.routers;
+      advertise_to t t.routers.(u) v;
+      advertise_to t t.routers.(v) u;
+      update_failover t t.routers.(u);
+      update_failover t t.routers.(v))
 
 let fail_node t v =
-  Link_state.fail_node t.links v;
+  Session_core.fail_node t.core v;
   let r = t.routers.(v) in
   Hashtbl.reset r.adj_rib_in;
   Hashtbl.reset r.rib_out;
@@ -369,7 +314,7 @@ let fail_node t v =
     (Topology.neighbors t.topo v)
 
 let recover_node t v =
-  Link_state.recover_node t.links v;
+  Session_core.recover_node t.core v;
   let r = t.routers.(v) in
   (* the returning router restarts with a clean slate *)
   r.known_causes <- [];
@@ -398,15 +343,13 @@ let recover_node t v =
     (Topology.neighbors t.topo v)
 
 let deny_export t v n =
-  if Topology.rel t.topo v n = None then
-    invalid_arg "Rbgp_net.deny_export: vertices not adjacent";
+  Session_core.check_adjacent t.core ~op:"deny_export" v n;
   Hashtbl.replace t.routers.(v).export_deny n ();
   advertise_to t t.routers.(v) n;
   update_failover t t.routers.(v)
 
 let allow_export t v n =
-  if Topology.rel t.topo v n = None then
-    invalid_arg "Rbgp_net.allow_export: vertices not adjacent";
+  Session_core.check_adjacent t.core ~op:"allow_export" v n;
   Hashtbl.remove t.routers.(v).export_deny n;
   advertise_to t t.routers.(v) n;
   update_failover t t.routers.(v)
@@ -420,22 +363,24 @@ let failover_choices t v =
 
 (* A pinned failover path delivers iff every hop is alive. *)
 let pinned_alive t path =
+  let links = Session_core.links t.core in
   let rec scan = function
-    | a :: (b :: _ as rest) -> Link_state.link_up t.links a b && scan rest
-    | [ x ] -> Link_state.node_up t.links x
+    | a :: (b :: _ as rest) -> Link_state.link_up links a b && scan rest
+    | [ x ] -> Link_state.node_up links x
     | [] -> true
   in
   scan path
 
 let walk_all t =
+  let links = Session_core.links t.core in
   let step v () =
-    if not (Link_state.node_up t.links v) then `Drop
+    if not (Link_state.node_up links v) then `Drop
     else begin
       let primary =
         match t.routers.(v).best with
         | Some b -> begin
           match Route.learned_from b with
-          | Some nh when Link_state.link_up t.links v nh -> Some nh
+          | Some nh when Link_state.link_up links v nh -> Some nh
           | Some _ | None -> None
         end
         | None -> None
@@ -446,7 +391,7 @@ let walk_all t =
         match t.routers.(v).withdrawn with
         | Some w -> begin
           match Route.learned_from w with
-          | Some nh when Link_state.link_up t.links v nh -> Some nh
+          | Some nh when Link_state.link_up links v nh -> Some nh
           | Some _ | None -> None
         end
         | None -> None
@@ -467,7 +412,7 @@ let walk_all t =
         in
         match
           List.find_opt
-            (fun (from, _) -> Link_state.link_up t.links v from)
+            (fun (from, _) -> Link_state.link_up links v from)
             candidates
         with
         | Some (_, p) -> if pinned_alive t p then `Deliver else `Drop
@@ -483,8 +428,9 @@ let walk_all t =
     ~state_id:(fun () -> 0)
     ~num_states:1
 
-let message_count t = t.messages
-let last_change t = t.last_change
+let message_count t = Session_core.message_count t.core
+let last_change t = Session_core.last_change t.core
+let counters t = Session_core.counters t.core
 
 let to_table t : Static_route.table =
   Array.map

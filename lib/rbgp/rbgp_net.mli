@@ -31,8 +31,12 @@ val create :
   ?mrai_base:float ->
   ?delay_lo:float ->
   ?delay_hi:float ->
+  ?detect_delay:float ->
   unit ->
   t
+(** Build routers and channels ({!Session_core}). [detect_delay] (default
+    0) postpones the control-plane reaction to every subsequent
+    {!fail_link}. *)
 
 val start : t -> unit
 (** The destination announces its prefix; run the sim to converge. *)
@@ -40,11 +44,10 @@ val start : t -> unit
 val sim : t -> Sim.t
 val dest : t -> Topology.vertex
 
-val fail_link :
-  ?detect_delay:float -> t -> Topology.vertex -> Topology.vertex -> unit
+val fail_link : t -> Topology.vertex -> Topology.vertex -> unit
 (** Fail a link at the current simulation time; adjacent routers react
-    after [detect_delay] seconds (default 0) and learn the root cause;
-    with RCI enabled they propagate it. *)
+    after the creation-time [detect_delay] (default 0) and learn the root
+    cause; with RCI enabled they propagate it. *)
 
 val fail_node : t -> Topology.vertex -> unit
 
@@ -77,4 +80,5 @@ val walk_all : t -> Fwd_walk.status array
 
 val message_count : t -> int
 val last_change : t -> float
+val counters : t -> Counters.t
 val to_table : t -> Static_route.table

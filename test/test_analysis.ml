@@ -54,7 +54,7 @@ let test_single_link_shape () =
   let st = Random.State.make [| 1 |] in
   for _ = 1 to 50 do
     match Scenario.single_link st t with
-    | { Scenario.dest; events = [ Scenario.Fail_link (u, v) ] } ->
+    | { Scenario.dest; events = [ Scenario.Fail_link (u, v) ]; _ } ->
       Alcotest.(check bool) "dest multi-homed" true (Topology.is_multi_homed t dest);
       Alcotest.(check int) "link starts at dest" dest u;
       Alcotest.(check bool) "fails a provider link" true
@@ -70,6 +70,7 @@ let test_two_links_apart_shape () =
     | {
      Scenario.dest;
      events = [ Scenario.Fail_link (u1, v1); Scenario.Fail_link (u2, v2) ];
+     _;
     } ->
       Alcotest.(check int) "first link at dest" dest u1;
       (* the two failed links share no AS *)
@@ -93,6 +94,7 @@ let test_two_links_shared_shape () =
     | {
      Scenario.dest;
      events = [ Scenario.Fail_link (u1, v1); Scenario.Fail_link (u2, v2) ];
+     _;
     } ->
       Alcotest.(check int) "first at dest" dest u1;
       Alcotest.(check int) "shared AS" v1 u2;
@@ -105,7 +107,7 @@ let test_node_failure_shape () =
   let t = Lazy.force topo200 in
   let st = Random.State.make [| 4 |] in
   match Scenario.node_failure st t with
-  | { Scenario.dest; events = [ Scenario.Fail_node p ] } ->
+  | { Scenario.dest; events = [ Scenario.Fail_node p ]; _ } ->
     Alcotest.(check bool) "fails a provider of dest" true
       (Topology.rel t dest p = Some Relationship.Provider)
   | _ -> Alcotest.fail "unexpected shape"
@@ -164,17 +166,18 @@ let golden_result =
     (fun ppf (r : Runner.result) ->
       Format.fprintf ppf
         "{ transient=%d; broken=%d; conv=%.17g; rec=%.17g; mi=%d; me=%d; \
-         cp=%d; verdict=%s }"
+         cp=%d; %a; verdict=%s }"
         r.Runner.transient_count r.Runner.broken_after
         r.Runner.convergence_delay r.Runner.recovery_delay
         r.Runner.messages_initial r.Runner.messages_event r.Runner.checkpoints
+        Counters.pp r.Runner.counters
         (Sim.verdict_name r.Runner.verdict))
     ( = )
 
 let golden_expectations =
   (* (label, event-builder, per-protocol expected record) *)
   let mk transient_count broken_after convergence_delay recovery_delay
-      messages_initial messages_event checkpoints =
+      messages_initial messages_event checkpoints (ann, wd, mrai, lost) =
     {
       Runner.transient_count;
       broken_after;
@@ -183,6 +186,13 @@ let golden_expectations =
       messages_initial;
       messages_event;
       checkpoints;
+      counters =
+        {
+          Counters.announcements = ann;
+          withdrawals = wd;
+          mrai_deferrals = mrai;
+          lost_to_resets = lost;
+        };
       verdict = Sim.Converged;
     }
   in
@@ -190,18 +200,18 @@ let golden_expectations =
     ( "link",
       (fun vtx -> [ Scenario.Fail_link (vtx 3, vtx 1) ]),
       [
-        (Runner.Bgp, mk 0 0 0.019184569160348566 0. 9 4 3);
-        (Runner.Rbgp_no_rci, mk 0 0 0.012946428140732227 0. 11 6 3);
-        (Runner.Rbgp, mk 0 0 0.012946428140732227 0. 11 6 3);
-        (Runner.Stamp, mk 0 0 0.034618057854001807 0. 14 10 5);
+        (Runner.Bgp, mk 0 0 0.019184569160348566 0. 9 4 3 (10, 3, 0, 0));
+        (Runner.Rbgp_no_rci, mk 0 0 0.012946428140732227 0. 11 6 3 (12, 5, 0, 0));
+        (Runner.Rbgp, mk 0 0 0.012946428140732227 0. 11 6 3 (12, 5, 0, 0));
+        (Runner.Stamp, mk 0 0 0.034618057854001807 0. 14 10 5 (19, 5, 1, 0));
       ] );
     ( "node",
       (fun vtx -> [ Scenario.Fail_node (vtx 1) ]),
       [
-        (Runner.Bgp, mk 0 1 0. 0. 9 1 2);
-        (Runner.Rbgp_no_rci, mk 0 1 0. 0. 11 2 3);
-        (Runner.Rbgp, mk 0 1 0. 0. 11 2 3);
-        (Runner.Stamp, mk 0 1 0.04159651006293702 0. 14 6 5);
+        (Runner.Bgp, mk 0 1 0. 0. 9 1 2 (9, 1, 0, 0));
+        (Runner.Rbgp_no_rci, mk 0 1 0. 0. 11 2 3 (11, 2, 0, 0));
+        (Runner.Rbgp, mk 0 1 0. 0. 11 2 3 (11, 2, 0, 0));
+        (Runner.Stamp, mk 0 1 0.04159651006293702 0. 14 6 5 (17, 3, 1, 0));
       ] );
   ]
 
@@ -210,7 +220,9 @@ let test_runner_golden () =
   let vtx = Test_support.vtx topo in
   List.iter
     (fun (label, events, expected) ->
-      let spec = { Scenario.dest = vtx 3; events = events vtx } in
+      let spec =
+        { Scenario.dest = vtx 3; events = events vtx; detect_delay = None }
+      in
       List.iter
         (fun (protocol, want) ->
           let got = Runner.run ~seed:42 protocol topo spec in
@@ -230,7 +242,9 @@ let test_runner_golden_via_pool () =
       Parallel.with_pool ~jobs:workers (fun pool ->
           List.iter
             (fun (label, events, expected) ->
-              let spec = { Scenario.dest = vtx 3; events = events vtx } in
+              let spec =
+                { Scenario.dest = vtx 3; events = events vtx; detect_delay = None }
+              in
               let got =
                 Parallel.map pool
                   (fun (protocol, _) -> Runner.run ~seed:42 protocol topo spec)

@@ -203,47 +203,52 @@ let test_with_resampling_error () =
       ignore
         (Scenario.with_resampling ~attempts:0 "hopeless" (fun _ _ -> None) st t))
 
-(* --- run_hybrid pre-validation ----------------------------------------- *)
+(* --- run_hybrid event coverage ------------------------------------------ *)
 
-let test_run_hybrid_rejects_unsupported () =
+(* The hybrid engine used to pre-reject node and policy events; on the
+   shared session core it supports the full vocabulary like every other
+   engine. *)
+let test_run_hybrid_full_vocabulary () =
   let t = Test_support.diamond () in
   let dest = vtx t 3 in
-  let check_rejected label spec =
-    match
-      Runner.run_hybrid ~deployed:(fun _ -> true) t spec
-    with
-    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
-    | exception Invalid_argument msg ->
-      Alcotest.(check bool)
-        (label ^ ": message names the function")
-        true
-        (Astring.String.is_infix ~affix:"Runner.run_hybrid" msg);
-      Alcotest.(check bool)
-        (label ^ ": message shows the scenario")
-        true
-        (Astring.String.is_infix ~affix:"dest" msg
-        || Astring.String.is_infix ~affix:"3" msg)
+  let check_converges label events =
+    let r =
+      Runner.run_hybrid ~deployed:(fun _ -> true) t
+        { Scenario.dest; events; detect_delay = None }
+    in
+    Alcotest.(check string) (label ^ " runs to a verdict") "converged"
+      (Sim.verdict_name r.Runner.verdict)
   in
-  check_rejected "node failure"
-    { Scenario.dest; events = [ Scenario.Fail_node (vtx t 1) ] };
-  check_rejected "timed node recovery"
-    { Scenario.dest; events = [ Scenario.At (5., Scenario.Recover_node (vtx t 1)) ] };
-  check_rejected "policy event"
-    { Scenario.dest; events = [ Scenario.Deny_export (dest, vtx t 1) ] };
-  (* link failure/recovery, timed or not, is accepted *)
+  check_converges "node failure" [ Scenario.Fail_node (vtx t 1) ];
+  check_converges "node failure then timed recovery"
+    [
+      Scenario.Fail_node (vtx t 1);
+      Scenario.At (5., Scenario.Recover_node (vtx t 1));
+    ];
+  check_converges "policy deny then timed allow"
+    [
+      Scenario.Deny_export (dest, vtx t 1);
+      Scenario.At (40., Scenario.Allow_export (dest, vtx t 1));
+    ];
+  check_converges "link failure then timed recovery"
+    [
+      Scenario.Fail_link (dest, vtx t 1);
+      Scenario.At (40., Scenario.Recover_link (dest, vtx t 1));
+    ];
+  (* a denied export at a legacy-BGP AS pair actually withdraws the route:
+     the hybrid's policy machinery works, it isn't silently ignored *)
   let r =
-    Runner.run_hybrid ~deployed:(fun _ -> true) t
+    Runner.run_hybrid ~deployed:(fun _ -> false) t
       {
         Scenario.dest;
-        events =
-          [
-            Scenario.Fail_link (dest, vtx t 1);
-            Scenario.At (40., Scenario.Recover_link (dest, vtx t 1));
-          ];
+        events = [ Scenario.Deny_export (dest, vtx t 1) ];
+        detect_delay = None;
       }
   in
-  Alcotest.(check string) "link spec runs to a verdict" "converged"
-    (Sim.verdict_name r.Runner.verdict)
+  Alcotest.(check string) "legacy-AS policy event converges" "converged"
+    (Sim.verdict_name r.Runner.verdict);
+  Alcotest.(check bool) "policy event causes reconvergence traffic" true
+    (r.Runner.messages_event > 0)
 
 (* --- watchdog verdicts through Runner and the sweeps -------------------- *)
 
@@ -318,7 +323,7 @@ let test_sweep_survives_crashing_instance () =
     incr calls;
     if !calls = 2 then
       (* 10 and 3 are not adjacent: fail_link raises in every engine *)
-      { Scenario.dest; events = [ Scenario.Fail_link (vtx t 10, dest) ] }
+      { Scenario.dest; events = [ Scenario.Fail_link (vtx t 10, dest) ]; detect_delay = None }
     else Scenario.flap ~period:60. ~count:2 st topo
   in
   let rows, summaries =
@@ -353,7 +358,11 @@ let test_sweep_survives_crashing_instance () =
 let test_default_budget_never_binds () =
   let t = Test_support.diamond_plus () in
   let dest = vtx t 3 in
-  let spec = { Scenario.dest; events = [ Scenario.Fail_link (dest, vtx t 1) ] } in
+  let spec =
+    { Scenario.dest;
+      events = [ Scenario.Fail_link (dest, vtx t 1) ];
+      detect_delay = None }
+  in
   List.iter
     (fun protocol ->
       let r = Runner.run ~seed:3 protocol t spec in
@@ -384,8 +393,8 @@ let () =
         ] );
       ( "watchdogs",
         [
-          Alcotest.test_case "run_hybrid rejects unsupported" `Quick
-            test_run_hybrid_rejects_unsupported;
+          Alcotest.test_case "run_hybrid supports the full vocabulary" `Quick
+            test_run_hybrid_full_vocabulary;
           prop_flap_terminates;
           Alcotest.test_case "tiny budget: sweep full of verdicts" `Quick
             test_sweep_tiny_budget_verdicts;

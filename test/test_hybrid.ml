@@ -6,10 +6,9 @@
 let diamond = Test_support.diamond
 let vtx = Test_support.vtx
 
-let converge ?(seed = 7) ~deployed topo ~dest =
+let converge ?(seed = 7) ?detect_delay ~deployed topo ~dest =
   let sim = Sim.create ~seed () in
-  let net = Hybrid_net.create sim topo ~dest ~deployed ()
-  in
+  let net = Hybrid_net.create sim topo ~dest ~deployed ?detect_delay () in
   Hybrid_net.start net;
   Sim.run sim;
   (sim, net)
@@ -96,14 +95,16 @@ let test_deflection_saves_at_failure_instant () =
   (* the data-plane nature of the backup shows under slow control-plane
      detection: BGP cannot reroute before the session drops and blackholes
      AS 10, while the upgraded AS deflects on the interface-down signal *)
-  let sim', bgp = Test_support.converge_bgp t ~dest in
+  let sim', bgp = Test_support.converge_bgp ~detect_delay:5. t ~dest in
   ignore sim';
-  Bgp_net.fail_link ~detect_delay:5. bgp (vtx t 10) (vtx t 1);
+  Bgp_net.fail_link bgp (vtx t 10) (vtx t 1);
   Alcotest.(check bool) "BGP AS 10 broken under slow detection" false
     (Fwd_walk.equal_status (Bgp_net.walk_all bgp).(vtx t 10) Fwd_walk.Delivered);
-  let sim'', net' = converge t ~dest ~deployed:(Topology.is_tier1 t) in
+  let sim'', net' =
+    converge ~detect_delay:5. t ~dest ~deployed:(Topology.is_tier1 t)
+  in
   ignore sim'';
-  Hybrid_net.fail_link ~detect_delay:5. net' (vtx t 10) (vtx t 1);
+  Hybrid_net.fail_link net' (vtx t 10) (vtx t 1);
   Alcotest.(check bool) "hybrid AS 10 survives slow detection" true
     (Fwd_walk.equal_status
        (Hybrid_net.walk_all net').(vtx t 10)

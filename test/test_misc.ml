@@ -67,6 +67,7 @@ let test_scenario_pp () =
           Scenario.Fail_node (vtx t 2);
           Scenario.Deny_export (vtx t 3, vtx t 2);
         ];
+      detect_delay = None;
     }
   in
   Alcotest.(check string) "spec" "dest=3 fail=[link 3-1; node 2; policy 3-x->2]"

@@ -8,10 +8,11 @@ let runner_result =
     (fun ppf (r : Runner.result) ->
       Format.fprintf ppf
         "{transient=%d; broken=%d; conv=%.17g; rec=%.17g; msgs=%d+%d; cp=%d; \
-         verdict=%s}"
+         %a; verdict=%s}"
         r.Runner.transient_count r.Runner.broken_after
         r.Runner.convergence_delay r.Runner.recovery_delay
         r.Runner.messages_initial r.Runner.messages_event r.Runner.checkpoints
+        Counters.pp r.Runner.counters
         (Sim.verdict_name r.Runner.verdict))
     ( = )
 
@@ -35,6 +36,7 @@ let runner_jobs () =
               Scenario.Fail_link
                 (Test_support.vtx diamond 3, Test_support.vtx diamond 1);
             ];
+          detect_delay = None;
         } );
       (* mid-chain provider link failure partitions the chain *)
       ( "chain",
@@ -46,6 +48,7 @@ let runner_jobs () =
               Scenario.Fail_link
                 (Test_support.vtx chain 4, Test_support.vtx chain 3);
             ];
+          detect_delay = None;
         } );
     ]
   in
@@ -266,6 +269,53 @@ let test_no_global_random_in_lib () =
     Alcotest.failf "global Random usage in lib/ (use Random.State):\n%s"
       (String.concat "\n" offenders)
 
+(* The engine substrate owns every session channel and MRAI timer: the
+   RNG draw-order contract (one float per Mrai.create, one per
+   Channel.send) is pinned by the golden Runner numbers, and it only
+   holds if no protocol builds channels or MRAI timers behind
+   Session_core's back. Constructing either anywhere in lib/ outside
+   lib/engine (or their defining simkernel modules) fails the build. *)
+let forbidden_session_constructions = [ "Channel.create"; "Mrai.create" ]
+
+let test_no_session_construction_outside_engine () =
+  let lib_dir =
+    match
+      List.find_opt Sys.file_exists [ "../lib"; "lib"; "_build/default/lib" ]
+    with
+    | Some d -> d
+    | None ->
+      Alcotest.fail "lib sources not found (missing source_tree dep in test/dune?)"
+  in
+  let allowed path =
+    (* the substrate itself, plus the simkernel modules that define the
+       primitives (their .mli docs may name the qualified calls) *)
+    Astring.String.is_infix ~affix:"engine" path
+    || Astring.String.is_infix ~affix:"sim" path
+  in
+  let files =
+    List.filter (fun p -> not (allowed p)) (source_files [] lib_dir)
+  in
+  Alcotest.(check bool) "found non-engine library sources" true
+    (List.length files > 20);
+  let offenders =
+    List.concat_map
+      (fun path ->
+        let content = read_file path in
+        List.filter_map
+          (fun pattern ->
+            if Astring.String.is_infix ~affix:pattern content then
+              Some (path ^ ": " ^ pattern)
+            else None)
+          forbidden_session_constructions)
+      files
+  in
+  if offenders <> [] then
+    Alcotest.failf
+      "session channel/MRAI construction outside lib/engine (route it \
+       through Session_core):\n\
+       %s"
+      (String.concat "\n" offenders)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -300,5 +350,7 @@ let () =
         [
           Alcotest.test_case "no global Random in lib/" `Quick
             test_no_global_random_in_lib;
+          Alcotest.test_case "no session construction outside lib/engine"
+            `Quick test_no_session_construction_outside_engine;
         ] );
     ]

@@ -117,7 +117,7 @@ let test_scenario_shape () =
   let st = Random.State.make [| 9 |] in
   for _ = 1 to 20 do
     match Scenario.policy_withdraw st t with
-    | { Scenario.dest; events = [ Scenario.Deny_export (u, p) ] } ->
+    | { Scenario.dest; events = [ Scenario.Deny_export (u, p) ]; _ } ->
       Alcotest.(check int) "origin denies" dest u;
       Alcotest.(check bool) "towards a provider" true
         (Topology.rel t u p = Some Relationship.Provider)
