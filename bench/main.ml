@@ -45,7 +45,8 @@ let budget cfg =
 let usage () =
   prerr_endline
     "usage: main.exe [fig1|fig2|fig3a|fig3b|node|policy|partial|overhead|delay|\n\
-    \                 flap|churn|ablation|motivation|smoke|all|micro]\n\
+    \                 flap|churn|ablation|motivation|smoke|staticcheck|all|\n\
+    \                 micro]\n\
     \                [--n N] [--instances I] [--seed S] [--samples K] [--mrai M]\n\
     \                [--csv DIR] [--jobs N] [--json FILE]\n\
     \                [--max-events N] [--max-vtime SECONDS]";
@@ -393,6 +394,45 @@ let churn pool cfg =
        0.05/s over 600s)"
     (Scenario.churn ~rate:0.05 ~duration:600.)
 
+(* --- staticcheck: analyzer cost on the experiment topology ------------- *)
+
+(* How much does pre-flighting cost relative to the simulations it guards?
+   Times one whole-topology sweep (every check over every destination, the
+   Fleet/CLI path) with the per-check breakdown, then a Runner-path batch
+   (one spec-scoped analysis per instance) inline and through the pool. *)
+let staticcheck pool cfg =
+  section
+    (Printf.sprintf "Static analyzer: whole-topology sweep + %d pre-flights"
+       cfg.instances);
+  let t = topology cfg in
+  let report, wall_sweep = timed (fun () -> Staticcheck.analyze t) in
+  List.iter
+    (fun (id, dt) -> Format.printf "  %-22s %8.1f ms@." id (dt *. 1000.))
+    report.Staticcheck.timings;
+  Format.printf "  diagnostics: %d errors, %d warnings; %s@.@."
+    (List.length (Staticcheck.errors report))
+    (List.length (Staticcheck.warnings report))
+    (Staticcheck.certificate_to_string report.Staticcheck.certificate);
+  let st = Random.State.make [| cfg.seed |] in
+  let specs = List.init cfg.instances (fun _ -> Scenario.single_link st t) in
+  let inline, wall_inline =
+    timed (fun () -> Staticcheck.preflight ~mrai_base:cfg.mrai t specs)
+  in
+  let pooled, wall_pool =
+    timed (fun () -> Staticcheck.preflight ~pool ~mrai_base:cfg.mrai t specs)
+  in
+  let strip (r : Staticcheck.report) = (r.Staticcheck.diagnostics, r.Staticcheck.certificate) in
+  if List.map strip inline <> List.map strip pooled then begin
+    prerr_endline
+      "staticcheck: FAIL — pooled pre-flight differs from inline";
+    exit 1
+  end;
+  Format.printf
+    "preflight: %d specs, %.1f ms inline, %.1f ms on %d workers@."
+    cfg.instances (wall_inline *. 1000.) (wall_pool *. 1000.)
+    (Parallel.jobs pool);
+  record_target "staticcheck" (wall_sweep +. wall_inline +. wall_pool)
+
 (* --- smoke: the dune-runtest fast path --------------------------------- *)
 
 (* Tiny topology, two instances: exercises the domain pool on every
@@ -595,6 +635,7 @@ let () =
       | "flap" -> flap pool cfg
       | "churn" -> churn pool cfg
       | "smoke" -> smoke pool cfg
+      | "staticcheck" -> staticcheck pool cfg
       | "micro" -> micro cfg
       | "all" ->
         fig1 pool cfg;

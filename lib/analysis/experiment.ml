@@ -430,3 +430,10 @@ let ablation_topology ?pool ?(instances = 8) ?(seed = 1) ~n () =
         failure_bars ?pool ~instances ~seed ~scenario:Scenario.single_link topo
       ))
     variants
+
+let preflight ?pool ?(instances = 20) ?(seed = 1) ?mrai_base ?detect_delay
+    ~scenario topo =
+  let st = Random.State.make [| seed |] in
+  let specs = List.init instances (fun _ -> scenario st topo) in
+  let reports = Staticcheck.preflight ?pool ?mrai_base ?detect_delay topo specs in
+  List.combine specs reports

@@ -5,7 +5,13 @@ type t = {
   origins : Topology.vertex Lpm.t; (* prefix -> originating vertex *)
 }
 
-let build ?tables topo =
+let build ?tables ?(validate = `Warn) topo =
+  (* an any-to-any data plane exercises every destination, so pre-flight
+     the whole topology (no spec: the per-origin checks sweep all ASes) *)
+  (match validate with
+  | `Off -> ()
+  | (`Warn | `Strict) as v ->
+    Staticcheck.enforce ~what:"Fleet topology" v (Staticcheck.analyze topo));
   let n = Topology.num_vertices topo in
   let tables =
     match tables with

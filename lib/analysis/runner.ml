@@ -32,7 +32,20 @@ type result = {
   checkpoints : int;
   counters : Counters.t;
   verdict : Sim.verdict;
+  diagnostics : Diagnostic.t list;
+  certificate : Staticcheck.certificate option;
 }
+
+(* Pre-run static analysis: scope the per-origin STAMP checks to the
+   spec's destination (cheap), enforce the validation policy, and hand
+   back what the result record carries. *)
+let validate_spec ~validate ~mrai_base ~detect_delay topo spec =
+  match validate with
+  | `Off -> ([], None)
+  | (`Warn | `Strict) as v ->
+    let report = Staticcheck.analyze ~spec ~mrai_base ~detect_delay topo in
+    Staticcheck.enforce ~what:"Runner scenario" v report;
+    (report.Staticcheck.diagnostics, Some report.Staticcheck.certificate)
 
 (* Apply one scenario event through the packed engine; [At] defers the inner
    event on the simulation clock, so churn streams interleave with the
@@ -86,6 +99,8 @@ let measure ~interval ~budget (spec : Scenario.spec) sim net =
       checkpoints = 1;
       counters = Counters.snapshot (Engine.counters net);
       verdict = initial_verdict;
+      diagnostics = [];
+      certificate = None;
     }
   | Sim.Converged ->
     List.iter (inject net sim) spec.events;
@@ -112,41 +127,50 @@ let measure ~interval ~budget (spec : Scenario.spec) sim net =
       checkpoints = outcome.checkpoints;
       counters = Counters.snapshot (Engine.counters net);
       verdict;
+      diagnostics = [];
+      certificate = None;
     }
 
 let run_engine ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
-    ?(detect_delay = 0.) ?(budget = default_budget) engine topo
-    (spec : Scenario.spec) =
+    ?(detect_delay = 0.) ?(budget = default_budget) ?(validate = `Warn) engine
+    topo (spec : Scenario.spec) =
   let detect_delay =
     match spec.detect_delay with Some d -> d | None -> detect_delay
+  in
+  let diagnostics, certificate =
+    validate_spec ~validate ~mrai_base ~detect_delay topo spec
   in
   let sim = Sim.create ~seed () in
   let config = { Engine.default_config with seed; mrai_base; detect_delay } in
   let net = Engine.create engine sim topo ~dest:spec.dest config in
-  measure ~interval ~budget spec sim net
+  { (measure ~interval ~budget spec sim net) with diagnostics; certificate }
 
-let run ?seed ?mrai_base ?interval ?detect_delay ?budget protocol topo spec =
-  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget
+let run ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate protocol
+    topo spec =
+  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate
     (engine_of_protocol protocol) topo spec
 
 let run_stamp ?seed ?mrai_base ?interval ?detect_delay
     ?(spread_unlocked_blue = false) ?(strategy = Coloring.Random_choice)
-    ?budget topo spec =
-  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget
+    ?budget ?validate topo spec =
+  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate
     (Stamp_engine.make ~spread_unlocked_blue ~strategy ())
     topo spec
 
-let run_hybrid ?seed ?mrai_base ?interval ?detect_delay ?budget ~deployed topo
-    spec =
-  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget
+let run_hybrid ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate
+    ~deployed topo spec =
+  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate
     (Hybrid_engine.make ~deployed ())
     topo spec
 
 let run_traffic ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
-    ?(detect_delay = 0.) ?(budget = default_budget) protocol topo
-    (spec : Scenario.spec) =
+    ?(detect_delay = 0.) ?(budget = default_budget) ?(validate = `Warn)
+    protocol topo (spec : Scenario.spec) =
   let detect_delay =
     match spec.detect_delay with Some d -> d | None -> detect_delay
+  in
+  let (_ : Diagnostic.t list * Staticcheck.certificate option) =
+    validate_spec ~validate ~mrai_base ~detect_delay topo spec
   in
   let sim = Sim.create ~seed () in
   let config = { Engine.default_config with seed; mrai_base; detect_delay } in

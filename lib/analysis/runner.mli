@@ -59,6 +59,14 @@ type result = {
           killed it — the other fields then describe the run up to the
           kill point (if initial convergence itself was killed, the
           event was never injected and the event-phase fields are zero) *)
+  diagnostics : Diagnostic.t list;
+      (** findings of the pre-run static analysis ([?validate]); empty
+          under [`Off] *)
+  certificate : Staticcheck.certificate option;
+      (** the convergence certificate of the pre-run static analysis:
+          [Some Convergence_certified] when the policy graph was verified
+          dispute-wheel-free (the run {e must} quiesce,
+          Griffin–Shepherd–Wilfong); [None] under [`Off] *)
 }
 
 val run_engine :
@@ -67,20 +75,30 @@ val run_engine :
   ?interval:float ->
   ?detect_delay:float ->
   ?budget:budget ->
+  ?validate:Staticcheck.validate ->
   (module Engine.S) ->
   Topology.t ->
   Scenario.spec ->
   result
-(** The generic entry point: build the engine's network, converge, inject
-    the scenario's events (immediate ones at the event instant,
-    {!Scenario.At}-wrapped ones on the simulation clock), and monitor
-    reconvergence with {!Transient.run_guarded} under [budget] (default
-    {!default_budget}). [detect_delay] (default 0) postpones the adjacent
-    routers' reaction to link and node failures while the data plane is
-    already broken; a [Scenario.spec.detect_delay] override wins over the
-    argument.
+(** The generic entry point: statically validate the (topology, scenario)
+    pair, build the engine's network, converge, inject the scenario's
+    events (immediate ones at the event instant, {!Scenario.At}-wrapped
+    ones on the simulation clock), and monitor reconvergence with
+    {!Transient.run_guarded} under [budget] (default {!default_budget}).
+
+    [validate] (default [`Warn]) controls the pre-run static analysis
+    ({!Staticcheck.analyze} scoped to the spec's destination): [`Warn]
+    attaches the diagnostics and certificate to the result and logs
+    error-severity findings; [`Strict] additionally raises
+    [Invalid_argument] on them; [`Off] skips the analysis (result carries
+    no diagnostics and no certificate).
+
+    [detect_delay] (default 0) postpones the adjacent routers' reaction to
+    link and node failures while the data plane is already broken; a
+    [Scenario.spec.detect_delay] override wins over the argument.
     @raise Invalid_argument if the engine reports an event kind as
-    {!Engine.Unsupported}; the message names the engine and the kind. *)
+    {!Engine.Unsupported} (the message names the engine and the kind), or
+    under [`Strict] when the static analysis finds an error. *)
 
 val run :
   ?seed:int ->
@@ -88,6 +106,7 @@ val run :
   ?interval:float ->
   ?detect_delay:float ->
   ?budget:budget ->
+  ?validate:Staticcheck.validate ->
   protocol ->
   Topology.t ->
   Scenario.spec ->
@@ -103,6 +122,7 @@ val run_stamp :
   ?spread_unlocked_blue:bool ->
   ?strategy:Coloring.strategy ->
   ?budget:budget ->
+  ?validate:Staticcheck.validate ->
   Topology.t ->
   Scenario.spec ->
   result
@@ -116,6 +136,7 @@ val run_hybrid :
   ?interval:float ->
   ?detect_delay:float ->
   ?budget:budget ->
+  ?validate:Staticcheck.validate ->
   deployed:(Topology.vertex -> bool) ->
   Topology.t ->
   Scenario.spec ->
@@ -132,6 +153,7 @@ val run_traffic :
   ?interval:float ->
   ?detect_delay:float ->
   ?budget:budget ->
+  ?validate:Staticcheck.validate ->
   protocol ->
   Topology.t ->
   Scenario.spec ->

@@ -1,6 +1,6 @@
 type strategy = Random_choice | Intelligent of { samples : int }
 
-type t = { topo : Topology.t; orders : Topology.vertex array array }
+type t = { orders : Topology.vertex array array }
 
 let rec effective_origin topo v =
   match Array.length (Topology.providers topo v) with
@@ -45,6 +45,6 @@ let create strategy ~seed topo ~dest =
       Array.stable_sort (fun (a, _) (b, _) -> compare b a) ranked;
       orders.(m) <- Array.map snd ranked
   end);
-  { topo; orders }
+  { orders }
 
 let preference t v = t.orders.(v)

@@ -70,11 +70,22 @@ let gen_params =
         seed;
       })
 
+(* Valid tiered topologies: at least two tier-1 ASes, so the top of the
+   hierarchy is a genuine peering clique. The STAMP lemma properties use
+   this — the paper's Section 3 guarantees presume the tiered structure,
+   and degenerate single-tier-1 graphs leave blue-only ASes with no
+   disjoint fallback during recovery churn. *)
+let gen_params_tiered =
+  QCheck2.Gen.map
+    (fun p -> { p with Topo_gen.n_tier1 = max 2 p.Topo_gen.n_tier1 })
+    gen_params
+
 let gen_topology = QCheck2.Gen.map Topo_gen.generate gen_params
 
 let print_params (p : Topo_gen.params) =
+  (* full float precision: a %.2f counterexample does not reproduce *)
   Printf.sprintf
-    "{n=%d; t1=%d; mid=%.2f; stub_q=%.2f; mid_q=%.2f; peers=%.2f; seed=%d}"
+    "{n=%d; t1=%d; mid=%.17g; stub_q=%.17g; mid_q=%.17g; peers=%.17g; seed=%d}"
     p.n p.n_tier1 p.mid_fraction p.stub_extra_provider_prob
     p.mid_extra_provider_prob p.peers_per_mid p.seed
 

@@ -1,0 +1,146 @@
+(* Source-hygiene lint: a small rule table grepped over the repository
+   sources, so conventions the type checker cannot see fail the build
+   instead of rotting silently. [test/dune] declares (source_tree ../lib),
+   (source_tree ../bin) and (source_tree ../bench) so the sources are
+   present in the build directory under dune runtest.
+
+   Moved here from test_parallel.ml and generalised: each rule names the
+   forbidden substrings, the directories it scans, and an allowlist of
+   path fragments where the pattern is legitimate. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let rec source_files acc dir =
+  Array.fold_left
+    (fun acc entry ->
+      if entry = "" || entry.[0] = '.' then acc
+      else
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then source_files acc path
+        else if
+          Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+        then path :: acc
+        else acc)
+    acc (Sys.readdir dir)
+
+(* "../lib" under dune runtest (cwd = _build/default/test); "lib" when the
+   executable is run from the workspace root via dune exec *)
+let resolve dir =
+  List.find_opt Sys.file_exists
+    [ "../" ^ dir; dir; "_build/default/" ^ dir ]
+
+type rule = {
+  name : string;
+  patterns : string list;  (** forbidden substrings *)
+  dirs : string list;  (** directories to scan (repo-relative) *)
+  allowed : string -> bool;  (** paths where the patterns are fine *)
+  why : string;  (** shown with the offending paths *)
+}
+
+let contains_fragment fragments path =
+  List.exists (fun f -> Astring.String.is_infix ~affix:f path) fragments
+
+let rules =
+  [
+    (* The determinism contract of Parallel/Experiment rests on every
+       piece of worker-reachable code deriving its randomness from an
+       explicit Random.State (Sim.rng or a seeded state). The global
+       Random module is domain-local in OCaml 5, so a stray Random.int
+       would not crash — it would silently produce worker-count-dependent
+       numbers. *)
+    {
+      name = "no global Random in lib/";
+      patterns =
+        [
+          "Random.int";
+          "Random.float";
+          "Random.bool";
+          "Random.bits";
+          "Random.full_int";
+          "Random.self_init";
+        ];
+      dirs = [ "lib" ];
+      allowed = (fun _ -> false);
+      why = "use an explicit Random.State (Sim.rng or a seeded state)";
+    };
+    (* The engine substrate owns every session channel and MRAI timer: the
+       RNG draw-order contract (one float per Mrai.create, one per
+       Channel.send) is pinned by the golden Runner numbers, and it only
+       holds if no protocol builds channels or MRAI timers behind
+       Session_core's back. *)
+    {
+      name = "no session construction outside lib/engine";
+      patterns = [ "Channel.create"; "Mrai.create" ];
+      dirs = [ "lib" ];
+      allowed =
+        (* the substrate itself, plus the simkernel modules that define
+           the primitives (their .mli docs may name the qualified calls) *)
+        contains_fragment [ "engine"; "sim" ];
+      why = "route session channels and MRAI timers through Session_core";
+    };
+    (* Libraries report through Logs / Fmt / returned values; writing to
+       stdout from lib/ corrupts machine-readable output (stamp_check
+       --json, the bench JSON) and bypasses log levels. Executables own
+       their stdout. *)
+    {
+      name = "no stdout printing in lib/";
+      (* bare print_string is excluded from the pattern list: it is a
+         substring of Format.pp_print_string, which is fine everywhere *)
+      patterns = [ "Printf.printf"; "print_endline"; "print_newline" ];
+      dirs = [ "lib" ];
+      allowed = (fun _ -> false);
+      why = "libraries log via Logs or return data; only bin//bench/ print";
+    };
+    (* Obj.magic defeats the type system wholesale; nothing in a
+       simulator of this size justifies it. *)
+    {
+      name = "no Obj.magic anywhere";
+      patterns = [ "Obj.magic" ];
+      dirs = [ "lib"; "bin"; "bench" ];
+      allowed = (fun _ -> false);
+      why = "find a typed encoding";
+    };
+  ]
+
+let run_rule rule () =
+  let files =
+    List.concat_map
+      (fun dir ->
+        match resolve dir with
+        | Some d -> source_files [] d
+        | None ->
+          Alcotest.failf
+            "%s sources not found (missing source_tree dep in test/dune?)" dir)
+      rule.dirs
+  in
+  Alcotest.(check bool) "found sources to scan" true (List.length files > 5);
+  let offenders =
+    List.concat_map
+      (fun path ->
+        if rule.allowed path then []
+        else
+          let content = read_file path in
+          List.filter_map
+            (fun pattern ->
+              if Astring.String.is_infix ~affix:pattern content then
+                Some (path ^ ": " ^ pattern)
+              else None)
+            rule.patterns)
+      files
+  in
+  if offenders <> [] then
+    Alcotest.failf "%s — %s:\n%s" rule.name rule.why
+      (String.concat "\n" offenders)
+
+let () =
+  Alcotest.run "hygiene"
+    [
+      ( "source lint",
+        List.map
+          (fun rule -> Alcotest.test_case rule.name `Quick (run_rule rule))
+          rules );
+    ]

@@ -1,7 +1,7 @@
 (* Tests for the deterministic domain pool: submission-order results,
-   bit-identical parity with the sequential baseline, exception handling,
-   edge cases — and the source-hygiene check that keeps worker code free
-   of the global Random module. *)
+   bit-identical parity with the sequential baseline, exception handling
+   and edge cases. The source-hygiene checks that used to live here moved
+   to test_hygiene.ml, generalised into a rule table. *)
 
 let runner_result =
   Alcotest.testable
@@ -201,121 +201,6 @@ let test_map_reduce_order () =
       in
       Alcotest.(check string) "in submission order" expected got)
 
-(* --- source hygiene: no global Random in lib/ -------------------------- *)
-
-(* The determinism contract of Parallel/Experiment rests on every piece
-   of worker-reachable code deriving its randomness from an explicit
-   Random.State (Sim.rng or a seeded state). The global Random module is
-   domain-local in OCaml 5, so a stray Random.int would not crash — it
-   would silently produce worker-count-dependent numbers. Fail the build
-   instead. [test/dune] declares (source_tree ../lib) so the sources are
-   present in the build directory. *)
-let forbidden_random_calls =
-  [
-    "Random.int";
-    "Random.float";
-    "Random.bool";
-    "Random.bits";
-    "Random.full_int";
-    "Random.self_init";
-  ]
-
-let rec source_files acc dir =
-  Array.fold_left
-    (fun acc entry ->
-      if entry = "" || entry.[0] = '.' then acc
-      else
-        let path = Filename.concat dir entry in
-        if Sys.is_directory path then source_files acc path
-        else if
-          Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
-        then path :: acc
-        else acc)
-    acc (Sys.readdir dir)
-
-let read_file path =
-  let ic = open_in_bin path in
-  let s = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  s
-
-let test_no_global_random_in_lib () =
-  (* "../lib" under dune runtest (cwd = _build/default/test); "lib" when
-     the executable is run from the workspace root via dune exec *)
-  let lib_dir =
-    List.find_opt Sys.file_exists [ "../lib"; "lib"; "_build/default/lib" ]
-  in
-  let lib_dir =
-    match lib_dir with
-    | Some d -> d
-    | None ->
-      Alcotest.fail "lib sources not found (missing source_tree dep in test/dune?)"
-  in
-  let files = source_files [] lib_dir in
-  Alcotest.(check bool) "found library sources" true (List.length files > 50);
-  let offenders =
-    List.concat_map
-      (fun path ->
-        let content = read_file path in
-        List.filter_map
-          (fun pattern ->
-            if Astring.String.is_infix ~affix:pattern content then
-              Some (path ^ ": " ^ pattern)
-            else None)
-          forbidden_random_calls)
-      files
-  in
-  if offenders <> [] then
-    Alcotest.failf "global Random usage in lib/ (use Random.State):\n%s"
-      (String.concat "\n" offenders)
-
-(* The engine substrate owns every session channel and MRAI timer: the
-   RNG draw-order contract (one float per Mrai.create, one per
-   Channel.send) is pinned by the golden Runner numbers, and it only
-   holds if no protocol builds channels or MRAI timers behind
-   Session_core's back. Constructing either anywhere in lib/ outside
-   lib/engine (or their defining simkernel modules) fails the build. *)
-let forbidden_session_constructions = [ "Channel.create"; "Mrai.create" ]
-
-let test_no_session_construction_outside_engine () =
-  let lib_dir =
-    match
-      List.find_opt Sys.file_exists [ "../lib"; "lib"; "_build/default/lib" ]
-    with
-    | Some d -> d
-    | None ->
-      Alcotest.fail "lib sources not found (missing source_tree dep in test/dune?)"
-  in
-  let allowed path =
-    (* the substrate itself, plus the simkernel modules that define the
-       primitives (their .mli docs may name the qualified calls) *)
-    Astring.String.is_infix ~affix:"engine" path
-    || Astring.String.is_infix ~affix:"sim" path
-  in
-  let files =
-    List.filter (fun p -> not (allowed p)) (source_files [] lib_dir)
-  in
-  Alcotest.(check bool) "found non-engine library sources" true
-    (List.length files > 20);
-  let offenders =
-    List.concat_map
-      (fun path ->
-        let content = read_file path in
-        List.filter_map
-          (fun pattern ->
-            if Astring.String.is_infix ~affix:pattern content then
-              Some (path ^ ": " ^ pattern)
-            else None)
-          forbidden_session_constructions)
-      files
-  in
-  if offenders <> [] then
-    Alcotest.failf
-      "session channel/MRAI construction outside lib/engine (route it \
-       through Session_core):\n\
-       %s"
-      (String.concat "\n" offenders)
-
 let () =
   Alcotest.run "parallel"
     [
@@ -345,12 +230,5 @@ let () =
           Alcotest.test_case "submission order / mapi" `Quick
             test_submission_order_and_mapi;
           Alcotest.test_case "map_reduce order" `Quick test_map_reduce_order;
-        ] );
-      ( "hygiene",
-        [
-          Alcotest.test_case "no global Random in lib/" `Quick
-            test_no_global_random_in_lib;
-          Alcotest.test_case "no session construction outside lib/engine"
-            `Quick test_no_session_construction_outside_engine;
         ] );
     ]
