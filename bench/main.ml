@@ -23,6 +23,7 @@ type config = {
   json : string option;
   max_events : int;
   max_vtime : float;
+  trace_file : string option;
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     json = None;
     max_events = Runner.default_budget.Runner.max_events;
     max_vtime = Runner.default_budget.Runner.max_vtime;
+    trace_file = None;
   }
 
 let budget cfg =
@@ -45,10 +47,10 @@ let budget cfg =
 let usage () =
   prerr_endline
     "usage: main.exe [fig1|fig2|fig3a|fig3b|node|policy|partial|overhead|delay|\n\
-    \                 flap|churn|ablation|motivation|smoke|staticcheck|all|\n\
-    \                 micro]\n\
+    \                 flap|churn|ablation|motivation|trace|smoke|staticcheck|\n\
+    \                 all|micro]\n\
     \                [--n N] [--instances I] [--seed S] [--samples K] [--mrai M]\n\
-    \                [--csv DIR] [--jobs N] [--json FILE]\n\
+    \                [--csv DIR] [--jobs N] [--json FILE] [--trace FILE]\n\
     \                [--max-events N] [--max-vtime SECONDS]";
   exit 2
 
@@ -91,6 +93,13 @@ let parse_args () =
          Printf.eprintf "error: --json %s: %s\n" v msg;
          exit 2);
       cfg := { !cfg with json = Some v };
+      loop rest
+    | "--trace" :: v :: rest ->
+      (try close_out (open_out v)
+       with Sys_error msg ->
+         Printf.eprintf "error: --trace %s: %s\n" v msg;
+         exit 2);
+      cfg := { !cfg with trace_file = Some v };
       loop rest
     | name :: rest when name <> "" && name.[0] <> '-' ->
       target := name;
@@ -364,6 +373,62 @@ let motivation pool cfg =
   in
   record_target "motivation" wall
 
+(* --- tracing: overhead target and --trace recording -------------------- *)
+
+let trace_overhead _pool cfg =
+  section
+    "Tracing overhead: untraced vs null sink vs memory sink (sequential)";
+  let r, wall =
+    timed (fun () ->
+        let r =
+          Experiment.trace_overhead
+            ~instances:(max 4 (cfg.instances / 3))
+            ~seed:cfg.seed ~mrai_base:cfg.mrai (topology cfg)
+        in
+        let pct a b = if b <= 0. then 0. else 100. *. (a -. b) /. b in
+        Format.printf
+          "  baseline %.3fs, null sink %.3fs (%+.1f%%), memory sink %.3fs \
+           (%+.1f%%), %d events recorded@."
+          r.Experiment.baseline_s r.Experiment.null_s
+          (pct r.Experiment.null_s r.Experiment.baseline_s)
+          r.Experiment.memory_s
+          (pct r.Experiment.memory_s r.Experiment.baseline_s)
+          r.Experiment.traced_events;
+        if not r.Experiment.identical then begin
+          prerr_endline
+            "trace: FAIL — traced results differ from the untraced baseline";
+          exit 1
+        end;
+        Format.printf "  results bit-identical across all three sinks@.";
+        r)
+  in
+  record_target "trace" wall
+    ~counters:
+      (Printf.sprintf
+         "{\"baseline_s\": %.3f, \"null_s\": %.3f, \"memory_s\": %.3f, \
+          \"traced_events\": %d}"
+         r.Experiment.baseline_s r.Experiment.null_s r.Experiment.memory_s
+         r.Experiment.traced_events)
+
+(* [--trace FILE]: stream the JSONL trace of one representative run (plain
+   BGP on the first single-link instance of the configured seed) so any
+   bench invocation can leave behind an inspectable event log for
+   [stamp_trace]. *)
+let write_trace cfg =
+  match cfg.trace_file with
+  | None -> ()
+  | Some path ->
+    let t = topology cfg in
+    let spec = Scenario.single_link (Random.State.make [| cfg.seed |]) t in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        ignore
+          (Runner.run ~seed:cfg.seed ~mrai_base:cfg.mrai
+             ~trace:(Trace.stream oc) Runner.Bgp t spec));
+    Format.printf "(wrote %s)@." path
+
 (* --- churn workloads --------------------------------------------------- *)
 
 let churn_target pool cfg ~name ~title scenario =
@@ -634,6 +699,7 @@ let () =
       | "motivation" -> motivation pool cfg
       | "flap" -> flap pool cfg
       | "churn" -> churn pool cfg
+      | "trace" -> trace_overhead pool cfg
       | "smoke" -> smoke pool cfg
       | "staticcheck" -> staticcheck pool cfg
       | "micro" -> micro cfg
@@ -651,4 +717,5 @@ let () =
         churn pool cfg;
         ablation pool cfg
       | _ -> usage ());
+      write_trace cfg;
       write_json cfg)

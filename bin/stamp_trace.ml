@@ -1,0 +1,359 @@
+(* Record, inspect and compare simulation traces.
+
+     # record a traced run to JSONL (and print its timeline)
+     dune exec bin/stamp_trace.exe -- record -n 500 --protocol stamp \
+         -o run.jsonl --summary
+
+     # events touching AS 64500 between t=10 and t=40, as JSONL
+     dune exec bin/stamp_trace.exe -- filter run.jsonl --as 64500 \
+         --from 10 --until 40 --json
+
+     # reconstruct the convergence timeline from a trace alone
+     dune exec bin/stamp_trace.exe -- timeline run.jsonl
+
+     # compare two traces after normalisation (exit 1 when they differ)
+     dune exec bin/stamp_trace.exe -- diff a.jsonl b.jsonl *)
+
+open Cmdliner
+
+let protocol_conv =
+  let parse = function
+    | "bgp" -> Ok Runner.Bgp
+    | "rbgp" -> Ok Runner.Rbgp
+    | "rbgp-norci" -> Ok Runner.Rbgp_no_rci
+    | "stamp" -> Ok Runner.Stamp
+    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Runner.protocol_name p) in
+  Arg.conv (parse, print)
+
+let link_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ a; b ] -> begin
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b -> Ok (a, b)
+      | _ -> Error (`Msg "expected ASN:ASN")
+    end
+    | _ -> Error (`Msg "expected ASN:ASN")
+  in
+  let print ppf (a, b) = Format.fprintf ppf "%d:%d" a b in
+  Arg.conv (parse, print)
+
+let scenario_conv =
+  let parse = function
+    | "single" -> Ok `Single
+    | "two-apart" -> Ok `Two_apart
+    | "two-shared" -> Ok `Two_shared
+    | "node" -> Ok `Node
+    | "policy" -> Ok `Policy
+    | s -> Error (`Msg (Printf.sprintf "unknown scenario %S" s))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf
+      (match s with
+      | `Single -> "single"
+      | `Two_apart -> "two-apart"
+      | `Two_shared -> "two-shared"
+      | `Node -> "node"
+      | `Policy -> "policy")
+  in
+  Arg.conv (parse, print)
+
+let vertex_of_asn_exn topo asn =
+  match Topology.vertex_of_asn topo asn with
+  | Some v -> v
+  | None -> Fmt.failwith "ASN %d not in topology" asn
+
+(* Read one event per non-empty line; the parse error of a bad line is
+   re-raised with its line number so truncated or hand-edited files fail
+   with a usable message. *)
+let load_trace path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line when String.trim line = "" -> go (lineno + 1) acc
+        | line ->
+          let ev =
+            try Trace.of_json line
+            with Invalid_argument msg ->
+              Fmt.failwith "%s:%d: %s" path lineno msg
+          in
+          go (lineno + 1) (ev :: acc)
+      in
+      go 1 [])
+
+let print_events ~json events =
+  if json then List.iter (fun e -> print_endline (Trace.to_json e)) events
+  else List.iter (Format.printf "%a@." Trace.pp) events
+
+(* --- record ------------------------------------------------------------- *)
+
+let record topo_file n seed protocol dest_asn fails scenario_kind mrai output
+    summary =
+  let topo =
+    match topo_file with
+    | Some path -> Topo_io.load_relationships path
+    | None -> Topo_gen.generate (Topo_gen.default_params ~seed ~n ())
+  in
+  let st = Random.State.make [| seed |] in
+  let spec =
+    match (dest_asn, fails) with
+    | Some asn, (_ :: _ as links) ->
+      {
+        Scenario.dest = vertex_of_asn_exn topo asn;
+        events =
+          List.map
+            (fun (a, b) ->
+              Scenario.Fail_link
+                (vertex_of_asn_exn topo a, vertex_of_asn_exn topo b))
+            links;
+        detect_delay = None;
+      }
+    | Some _, [] | None, _ -> begin
+      match scenario_kind with
+      | `Single -> Scenario.single_link st topo
+      | `Two_apart -> Scenario.two_links_apart st topo
+      | `Two_shared -> Scenario.two_links_shared st topo
+      | `Node -> Scenario.node_failure st topo
+      | `Policy -> Scenario.policy_withdraw st topo
+    end
+  in
+  (* record into memory (so --summary can reconstruct the timeline), then
+     write the JSONL file from the buffer *)
+  let trace = Trace.memory () in
+  let r = Runner.run ~seed ~mrai_base:mrai ~trace protocol topo spec in
+  let events = Trace.events trace in
+  (match output with
+  | None -> print_events ~json:true events
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun e ->
+            output_string oc (Trace.to_json e);
+            output_char oc '\n')
+          events);
+    Format.eprintf "wrote %d events to %s (%s, %a)@." (List.length events)
+      path
+      (Runner.protocol_name protocol)
+      (Scenario.pp_spec topo) spec);
+  if summary then begin
+    match r.Runner.timeline with
+    | Some tl -> Format.printf "%a@." Timeline.pp tl
+    | None -> ()
+  end;
+  0
+
+(* --- filter ------------------------------------------------------------- *)
+
+let filter file ases links kinds from_t until_t json =
+  let events = load_trace file in
+  let link_matches (a, b) = function
+    | Trace.Link (u, v) -> (u = a && v = b) || (u = b && v = a)
+    | Trace.Net | Trace.Node _ -> false
+  in
+  let keep e =
+    (ases = [] || List.exists (Trace.mentions_node e) ases)
+    && (links = [] || List.exists (fun l -> link_matches l e.Trace.loc) links)
+    && (kinds = [] || List.mem (Trace.kind_label e) kinds)
+    && (match from_t with None -> true | Some t -> e.Trace.vtime >= t)
+    && match until_t with None -> true | Some t -> e.Trace.vtime <= t
+  in
+  print_events ~json (List.filter keep events);
+  0
+
+(* --- timeline ----------------------------------------------------------- *)
+
+let timeline file json =
+  let tl = Timeline.of_events (load_trace file) in
+  if json then print_endline (Timeline.to_json tl)
+  else Format.printf "%a@." Timeline.pp tl;
+  0
+
+(* --- diff --------------------------------------------------------------- *)
+
+let diff file_a file_b json =
+  let a = Trace.normalize (load_trace file_a)
+  and b = Trace.normalize (load_trace file_b) in
+  let ds = Trace.diff a b in
+  if ds = [] then begin
+    if not json then Format.printf "traces identical (%d events)@."
+        (List.length a);
+    0
+  end
+  else begin
+    if json then begin
+      let side = function
+        | None -> "null"
+        | Some e -> Trace.to_json e
+      in
+      print_endline
+        ("["
+        ^ String.concat ",\n "
+            (List.map
+               (fun (i, l, r) ->
+                 Printf.sprintf "{\"index\": %d, \"left\": %s, \"right\": %s}"
+                   i (side l) (side r))
+               ds)
+        ^ "]")
+    end
+    else
+      List.iter
+        (fun (i, l, r) ->
+          Format.printf "@[<v 2>#%d:@ " i;
+          (match l with
+          | Some e -> Format.printf "< %a@ " Trace.pp e
+          | None -> Format.printf "< (absent)@ ");
+          (match r with
+          | Some e -> Format.printf "> %a" Trace.pp e
+          | None -> Format.printf "> (absent)");
+          Format.printf "@]@.")
+        ds;
+    1
+  end
+
+(* --- command line ------------------------------------------------------- *)
+
+let trace_file_pos n doc =
+  Arg.(required & pos n (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit JSONL instead of prose.")
+
+let record_cmd =
+  let topo_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "topo" ] ~docv:"FILE" ~doc:"CAIDA relationship file to load.")
+  in
+  let n =
+    Arg.(
+      value & opt int 1000
+      & info [ "n" ] ~docv:"N" ~doc:"Generated topology size (without --topo).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt protocol_conv Runner.Stamp
+      & info [ "protocol" ] ~docv:"P"
+          ~doc:"Protocol: bgp, rbgp, rbgp-norci or stamp.")
+  in
+  let dest =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "dest" ] ~docv:"ASN"
+          ~doc:"Destination AS (random multi-homed AS if omitted).")
+  in
+  let fails =
+    Arg.(
+      value & opt_all link_conv []
+      & info [ "fail" ] ~docv:"ASN:ASN"
+          ~doc:"Link to fail after convergence (repeatable; needs --dest).")
+  in
+  let scenario =
+    Arg.(
+      value & opt scenario_conv `Single
+      & info [ "scenario" ] ~docv:"KIND"
+          ~doc:
+            "Random scenario kind: single, two-apart, two-shared, node or \
+             policy.")
+  in
+  let mrai =
+    Arg.(
+      value & opt float 30.
+      & info [ "mrai" ] ~docv:"SECONDS" ~doc:"MRAI base interval.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the JSONL trace here (stdout if omitted).")
+  in
+  let summary =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:"Also print the reconstructed convergence timeline.")
+  in
+  let doc = "run one scenario with tracing on and dump the JSONL trace" in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(
+      const record $ topo_file $ n $ seed $ protocol $ dest $ fails $ scenario
+      $ mrai $ output $ summary)
+
+let filter_cmd =
+  let ases =
+    Arg.(
+      value & opt_all int []
+      & info [ "as" ] ~docv:"ASN"
+          ~doc:"Keep events mentioning this AS (repeatable, OR).")
+  in
+  let links =
+    Arg.(
+      value & opt_all link_conv []
+      & info [ "link" ] ~docv:"ASN:ASN"
+          ~doc:"Keep events on this link, either direction (repeatable, OR).")
+  in
+  let kinds =
+    Arg.(
+      value & opt_all string []
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Keep events of this kind (repeatable, OR): enqueue, deliver, \
+             drop, mrai-defer, mrai-flush, decision, recolor, session-reset, \
+             session-up, scenario, status or phase.")
+  in
+  let from_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "from" ] ~docv:"T" ~doc:"Drop events before virtual time T.")
+  in
+  let until_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "until" ] ~docv:"T" ~doc:"Drop events after virtual time T.")
+  in
+  let doc = "select events from a JSONL trace" in
+  Cmd.v (Cmd.info "filter" ~doc)
+    Term.(
+      const filter
+      $ trace_file_pos 0 "JSONL trace file."
+      $ ases $ links $ kinds $ from_t $ until_t $ json_flag)
+
+let timeline_cmd =
+  let doc = "reconstruct the convergence timeline from a JSONL trace" in
+  Cmd.v (Cmd.info "timeline" ~doc)
+    Term.(const timeline $ trace_file_pos 0 "JSONL trace file." $ json_flag)
+
+let diff_cmd =
+  let doc =
+    "compare two JSONL traces after normalisation; exit 1 when they differ"
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(
+      const diff
+      $ trace_file_pos 0 "Left trace."
+      $ trace_file_pos 1 "Right trace."
+      $ json_flag)
+
+let cmd =
+  let doc = "record, inspect and compare simulation traces" in
+  Cmd.group (Cmd.info "stamp_trace" ~doc)
+    [ record_cmd; filter_cmd; timeline_cmd; diff_cmd ]
+
+let () = exit (Cmd.eval' cmd)

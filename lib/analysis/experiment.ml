@@ -431,6 +431,61 @@ let ablation_topology ?pool ?(instances = 8) ?(seed = 1) ~n () =
       ))
     variants
 
+(* --- tracing overhead --------------------------------------------------- *)
+
+type trace_overhead_result = {
+  baseline_s : float;
+  null_s : float;
+  memory_s : float;
+  traced_events : int;
+  identical : bool;
+}
+
+let trace_overhead ?(instances = 10) ?(seed = 1) ?(mrai_base = 30.)
+    ?(interval = 0.02) topo =
+  let specs = single_link_specs ~instances ~seed topo in
+  let jobs =
+    List.concat_map
+      (fun protocol -> List.map (fun (i, s) -> (protocol, i, s)) specs)
+      Runner.all_protocols
+  in
+  (* deliberately sequential, no [?pool]: memory sinks are single-domain
+     mutable state, and the quantity of interest is relative per-core cost *)
+  let pass run =
+    let t0 = Sys.time () in
+    let results = List.map run jobs in
+    (Sys.time () -. t0, results)
+  in
+  (* the whole record minus the timeline (absent by construction on the
+     baseline/null passes, present on the memory pass) *)
+  let key (r : Runner.result) = { r with timeline = None } in
+  let baseline_s, base =
+    pass (fun (p, i, spec) ->
+        Runner.run ~seed:(seed + i) ~mrai_base ~interval ~validate:`Off p topo
+          spec)
+  in
+  let null_s, nulls =
+    pass (fun (p, i, spec) ->
+        Runner.run ~seed:(seed + i) ~mrai_base ~interval ~validate:`Off
+          ~trace:Trace.null p topo spec)
+  in
+  let traced = ref 0 in
+  let memory_s, mems =
+    pass (fun (p, i, spec) ->
+        let trace = Trace.memory () in
+        let r =
+          Runner.run ~seed:(seed + i) ~mrai_base ~interval ~validate:`Off
+            ~trace p topo spec
+        in
+        traced := !traced + Trace.recorded trace;
+        r)
+  in
+  let identical =
+    List.for_all2 (fun a b -> key a = key b) base nulls
+    && List.for_all2 (fun a b -> key a = key b) base mems
+  in
+  { baseline_s; null_s; memory_s; traced_events = !traced; identical }
+
 let preflight ?pool ?(instances = 20) ?(seed = 1) ?mrai_base ?detect_delay
     ~scenario topo =
   let st = Random.State.make [| seed |] in

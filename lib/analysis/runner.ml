@@ -34,6 +34,7 @@ type result = {
   verdict : Sim.verdict;
   diagnostics : Diagnostic.t list;
   certificate : Staticcheck.certificate option;
+  timeline : Timeline.t option;
 }
 
 (* Pre-run static analysis: scope the per-origin STAMP checks to the
@@ -47,11 +48,24 @@ let validate_spec ~validate ~mrai_base ~detect_delay topo spec =
     Staticcheck.enforce ~what:"Runner scenario" v report;
     (report.Staticcheck.diagnostics, Some report.Staticcheck.certificate)
 
+(* Where a scenario event lives in the trace, ASN space. *)
+let rec event_loc topo = function
+  | Scenario.Fail_link (u, v)
+  | Scenario.Recover_link (u, v)
+  | Scenario.Deny_export (u, v)
+  | Scenario.Allow_export (u, v) ->
+    Trace.Link (Topology.asn topo u, Topology.asn topo v)
+  | Scenario.Fail_node v | Scenario.Recover_node v ->
+    Trace.Node (Topology.asn topo v)
+  | Scenario.At (_, e) -> event_loc topo e
+
 (* Apply one scenario event through the packed engine; [At] defers the inner
    event on the simulation clock, so churn streams interleave with the
    protocol's own reaction. An engine refusing an event kind surfaces as a
-   clear [Invalid_argument] naming the engine and the kind. *)
-let rec inject (net : Engine.instance) sim event =
+   clear [Invalid_argument] naming the engine and the kind. Concrete events
+   are traced at their application instant (a deferred event when its timer
+   fires), before the engine's reaction. *)
+let rec inject ~trace topo (net : Engine.instance) sim event =
   let apply f =
     try f ()
     with Engine.Unsupported { engine; what } ->
@@ -59,6 +73,14 @@ let rec inject (net : Engine.instance) sim event =
         (Printf.sprintf "Runner: the %s engine does not support %s events"
            engine what)
   in
+  (match event with
+  | Scenario.At _ -> ()
+  | e ->
+    if Trace.enabled trace then
+      Trace.emit trace ~vtime:(Sim.now sim) ~engine:(Engine.name net)
+        ~loc:(event_loc topo e)
+        (Trace.Scenario_event
+           (Format.asprintf "%a" (Scenario.pp_event topo) e)));
   match event with
   | Scenario.Fail_link (u, v) -> apply (fun () -> Engine.fail_link net u v)
   | Scenario.Fail_node v -> apply (fun () -> Engine.fail_node net v)
@@ -69,9 +91,25 @@ let rec inject (net : Engine.instance) sim event =
   | Scenario.Allow_export (u, v) ->
     apply (fun () -> Engine.allow_export net u v)
   | Scenario.At (dt, e) ->
-    Sim.schedule sim ~delay:dt (fun _ -> inject net sim e)
+    Sim.schedule sim ~delay:dt (fun _ -> inject ~trace topo net sim e)
 
-let measure ~interval ~budget (spec : Scenario.spec) sim net =
+let status_string = function
+  | Fwd_walk.Delivered -> "delivered"
+  | Fwd_walk.Looped -> "looped"
+  | Fwd_walk.Blackholed -> "blackholed"
+
+let measure ~interval ~budget ~trace topo (spec : Scenario.spec) sim net =
+  let engine_id = Engine.name net in
+  let phase name =
+    if Trace.enabled trace then
+      Trace.emit trace ~vtime:(Sim.now sim) ~engine:engine_id ~loc:Trace.Net
+        (Trace.Phase name)
+  in
+  let timeline () =
+    if Trace.readable trace then Some (Timeline.of_events (Trace.events trace))
+    else None
+  in
+  phase "start";
   Engine.start net;
   let initial_verdict =
     Sim.run_guarded sim ~until:budget.max_vtime ~max_events:budget.max_events
@@ -89,6 +127,7 @@ let measure ~interval ~budget (spec : Scenario.spec) sim net =
           if Fwd_walk.equal_status s Fwd_walk.Delivered then acc else acc + 1)
         0 final
     in
+    phase "final";
     {
       transient_count = 0;
       broken_after = broken;
@@ -101,16 +140,30 @@ let measure ~interval ~budget (spec : Scenario.spec) sim net =
       verdict = initial_verdict;
       diagnostics = [];
       certificate = None;
+      timeline = timeline ();
     }
   | Sim.Converged ->
-    List.iter (inject net sim) spec.events;
+    phase "initial-converged";
+    List.iter (inject ~trace topo net sim) spec.events;
+    phase "events-injected";
+    let on_status =
+      if Trace.enabled trace then
+        Some
+          (fun ~changed v s ->
+            Trace.emit trace ~vtime:(Sim.now sim) ~engine:engine_id
+              ~loc:(Trace.Node (Topology.asn topo v))
+              (Trace.Status { status = status_string s; changed }))
+      else None
+    in
     let remaining_events = budget.max_events - Sim.events_processed sim in
     let outcome, verdict =
       Transient.run_guarded sim ~interval ~max_events:(max 1 remaining_events)
         ~max_vtime:(event_time +. budget.max_vtime)
+        ?on_status
         ~probe:(fun () -> Engine.probe net)
         ()
     in
+    phase "final";
     let broken_after =
       Array.fold_left
         (fun acc s ->
@@ -129,11 +182,12 @@ let measure ~interval ~budget (spec : Scenario.spec) sim net =
       verdict;
       diagnostics = [];
       certificate = None;
+      timeline = timeline ();
     }
 
 let run_engine ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
-    ?(detect_delay = 0.) ?(budget = default_budget) ?(validate = `Warn) engine
-    topo (spec : Scenario.spec) =
+    ?(detect_delay = 0.) ?(budget = default_budget) ?(validate = `Warn)
+    ?(trace = Trace.null) engine topo (spec : Scenario.spec) =
   let detect_delay =
     match spec.detect_delay with Some d -> d | None -> detect_delay
   in
@@ -141,25 +195,31 @@ let run_engine ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
     validate_spec ~validate ~mrai_base ~detect_delay topo spec
   in
   let sim = Sim.create ~seed () in
-  let config = { Engine.default_config with seed; mrai_base; detect_delay } in
+  let config =
+    { Engine.default_config with seed; mrai_base; detect_delay; trace }
+  in
   let net = Engine.create engine sim topo ~dest:spec.dest config in
-  { (measure ~interval ~budget spec sim net) with diagnostics; certificate }
+  {
+    (measure ~interval ~budget ~trace topo spec sim net) with
+    diagnostics;
+    certificate;
+  }
 
-let run ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate protocol
-    topo spec =
-  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate
+let run ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate ?trace
+    protocol topo spec =
+  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate ?trace
     (engine_of_protocol protocol) topo spec
 
 let run_stamp ?seed ?mrai_base ?interval ?detect_delay
     ?(spread_unlocked_blue = false) ?(strategy = Coloring.Random_choice)
-    ?budget ?validate topo spec =
-  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate
+    ?budget ?validate ?trace topo spec =
+  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate ?trace
     (Stamp_engine.make ~spread_unlocked_blue ~strategy ())
     topo spec
 
 let run_hybrid ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate
-    ~deployed topo spec =
-  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate
+    ?trace ~deployed topo spec =
+  run_engine ?seed ?mrai_base ?interval ?detect_delay ?budget ?validate ?trace
     (Hybrid_engine.make ~deployed ())
     topo spec
 
@@ -181,7 +241,7 @@ let run_traffic ?(seed = 0) ?(mrai_base = 30.) ?(interval = 0.02)
   ignore
     (Sim.run_guarded sim ~until:budget.max_vtime ~max_events:budget.max_events);
   let event_time = Sim.now sim in
-  List.iter (inject net sim) spec.events;
+  List.iter (inject ~trace:Trace.null topo net sim) spec.events;
   let remaining_events = budget.max_events - Sim.events_processed sim in
   Traffic.observe sim ~interval
     ~max_events:(max 1 remaining_events)

@@ -67,6 +67,12 @@ type result = {
           [Some Convergence_certified] when the policy graph was verified
           dispute-wheel-free (the run {e must} quiesce,
           Griffin–Shepherd–Wilfong); [None] under [`Off] *)
+  timeline : Timeline.t option;
+      (** the convergence timeline reconstructed from the run's trace —
+          [Some] iff [?trace] was a readable (memory) sink. Its aggregate
+          fields equal the corresponding fields of this record (the
+          differential test suite enforces this for every registered
+          engine on converged runs). *)
 }
 
 val run_engine :
@@ -76,6 +82,7 @@ val run_engine :
   ?detect_delay:float ->
   ?budget:budget ->
   ?validate:Staticcheck.validate ->
+  ?trace:Trace.sink ->
   (module Engine.S) ->
   Topology.t ->
   Scenario.spec ->
@@ -96,6 +103,15 @@ val run_engine :
     [detect_delay] (default 0) postpones the adjacent routers' reaction to
     link and node failures while the data plane is already broken; a
     [Scenario.spec.detect_delay] override wins over the argument.
+
+    [trace] (default {!Trace.null}) receives the run's structured event
+    stream: run-phase markers (["start"], ["initial-converged"],
+    ["events-injected"], ["final"]), the scenario events at their
+    application instants, the engine's session/decision events and the
+    monitor's per-AS status changes. A readable (memory) sink additionally
+    yields a reconstructed {!Timeline.t} in the result. With the null sink
+    the run is bit-identical to an untraced one: tracing draws no
+    randomness and schedules nothing.
     @raise Invalid_argument if the engine reports an event kind as
     {!Engine.Unsupported} (the message names the engine and the kind), or
     under [`Strict] when the static analysis finds an error. *)
@@ -107,6 +123,7 @@ val run :
   ?detect_delay:float ->
   ?budget:budget ->
   ?validate:Staticcheck.validate ->
+  ?trace:Trace.sink ->
   protocol ->
   Topology.t ->
   Scenario.spec ->
@@ -123,6 +140,7 @@ val run_stamp :
   ?strategy:Coloring.strategy ->
   ?budget:budget ->
   ?validate:Staticcheck.validate ->
+  ?trace:Trace.sink ->
   Topology.t ->
   Scenario.spec ->
   result
@@ -137,6 +155,7 @@ val run_hybrid :
   ?detect_delay:float ->
   ?budget:budget ->
   ?validate:Staticcheck.validate ->
+  ?trace:Trace.sink ->
   deployed:(Topology.vertex -> bool) ->
   Topology.t ->
   Scenario.spec ->

@@ -14,7 +14,7 @@ let transient_count o =
    until the queue drains or a budget runs out. Returns the verdict
    alongside the outcome; [run] keeps the historical raising behaviour on
    top of it. *)
-let run_watched sim ~interval ~max_events ~max_vtime ~probe =
+let run_watched sim ~interval ~max_events ~max_vtime ~on_status ~probe =
   if interval <= 0. then invalid_arg "Transient.run: non-positive interval";
   let first = probe () in
   let n = Array.length first in
@@ -27,10 +27,31 @@ let run_watched sim ~interval ~max_events ~max_vtime ~probe =
         if not (Fwd_walk.equal_status s Fwd_walk.Delivered) then
           troubled.(v) <- true)
       statuses;
-    if not (Array.for_all2 Fwd_walk.equal_status statuses !prev) then
-      last_status_change := Sim.now sim;
+    (* change detection: with an observer, report each AS whose status
+       moved since the previous checkpoint (the exact per-AS deltas the
+       aggregate below is computed from); without one, keep the historical
+       short-circuiting comparison *)
+    (match on_status with
+    | None ->
+      if not (Array.for_all2 Fwd_walk.equal_status statuses !prev) then
+        last_status_change := Sim.now sim
+    | Some f ->
+      let any = ref false in
+      Array.iteri
+        (fun v s ->
+          if not (Fwd_walk.equal_status s !prev.(v)) then begin
+            any := true;
+            f ~changed:true v s
+          end)
+        statuses;
+      if !any then last_status_change := Sim.now sim);
     prev := statuses
   in
+  (* baseline snapshot: every AS's status at the observation start, before
+     any checkpoint — reported unchanged so observers can seed their state *)
+  (match on_status with
+  | Some f -> Array.iteri (fun v s -> f ~changed:false v s) first
+  | None -> ());
   note first;
   let checkpoints = ref 1 in
   let events_budget = ref max_events in
@@ -54,6 +75,17 @@ let run_watched sim ~interval ~max_events ~max_vtime ~probe =
   done;
   let final = probe () in
   incr checkpoints;
+  (* the final probe is not a [note]d checkpoint (it never moves
+     [last_status_change] or the troubled set — historical semantics);
+     report its deltas as unchanged corrections so observers still see the
+     end state of every AS *)
+  (match on_status with
+  | Some f ->
+    Array.iteri
+      (fun v s ->
+        if not (Fwd_walk.equal_status s !prev.(v)) then f ~changed:false v s)
+      final
+  | None -> ());
   let transient =
     Array.mapi
       (fun v bad -> bad && Fwd_walk.equal_status final.(v) Fwd_walk.Delivered)
@@ -69,12 +101,13 @@ let run_watched sim ~interval ~max_events ~max_vtime ~probe =
     !verdict )
 
 let run_guarded sim ?(interval = 0.02) ?(max_events = 50_000_000)
-    ?(max_vtime = infinity) ~probe () =
-  run_watched sim ~interval ~max_events ~max_vtime ~probe
+    ?(max_vtime = infinity) ?on_status ~probe () =
+  run_watched sim ~interval ~max_events ~max_vtime ~on_status ~probe
 
 let run sim ?(interval = 0.02) ?(max_events = 50_000_000) ~probe () =
   let outcome, verdict =
-    run_watched sim ~interval ~max_events ~max_vtime:infinity ~probe
+    run_watched sim ~interval ~max_events ~max_vtime:infinity ~on_status:None
+      ~probe
   in
   match verdict with
   | Sim.Converged -> outcome

@@ -44,6 +44,7 @@ val run_guarded :
   ?interval:float ->
   ?max_events:int ->
   ?max_vtime:float ->
+  ?on_status:(changed:bool -> Topology.vertex -> Fwd_walk.status -> unit) ->
   probe:(unit -> Fwd_walk.status array) ->
   unit ->
   outcome * Sim.verdict
@@ -54,4 +55,17 @@ val run_guarded :
     [max_vtime] (default: unbounded) with events still pending. On a
     non-{!Sim.Converged} verdict the outcome reports whatever the monitor
     observed up to the kill point (the final probe still runs, so [final]
-    reflects the forwarding plane at the moment the budget hit). *)
+    reflects the forwarding plane at the moment the budget hit).
+
+    [on_status] observes the per-AS statuses the aggregate outcome is
+    computed from, in a protocol precise enough to reconstruct it exactly:
+    first every AS once with [changed:false] (the baseline snapshot at the
+    observation start), then — at each checkpoint where anything moved —
+    each AS whose status differs from the previous checkpoint with
+    [changed:true] (these are exactly the instants [last_status_change]
+    tracks, and together with the baseline exactly the statuses that feed
+    the [transient] troubled set), and finally each AS whose final-probe
+    status differs from the last checkpoint with [changed:false] (the
+    final probe never moves [last_status_change] or the troubled set —
+    historical semantics). Pure observation: the monitor's behaviour is
+    identical with or without it. *)

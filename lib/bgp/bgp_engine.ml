@@ -7,7 +7,7 @@ let engine : (module Engine.S) =
     let create sim topo ~dest (c : Engine.config) =
       Bgp_net.create sim topo ~dest ~mrai_base:c.mrai_base
         ~delay_lo:c.delay_lo ~delay_hi:c.delay_hi
-        ~detect_delay:c.detect_delay ()
+        ~detect_delay:c.detect_delay ~trace:c.trace ()
 
     let start = Bgp_net.start
     let fail_link = Bgp_net.fail_link

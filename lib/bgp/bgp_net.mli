@@ -21,10 +21,13 @@ val create :
   ?delay_lo:float ->
   ?delay_hi:float ->
   ?detect_delay:float ->
+  ?trace:Trace.sink ->
   unit ->
   t
 (** Build routers and channels ({!Session_core}). Nothing is announced
-    until {!start}. [detect_delay] (default 0 — instantaneous detection)
+    until {!start}. [trace] (default {!Trace.null}) receives the session
+    substrate's events plus per-router decision changes.
+    [detect_delay] (default 0 — instantaneous detection)
     postpones the control-plane reaction to every subsequent {!fail_link}
     while the data plane is already broken. *)
 

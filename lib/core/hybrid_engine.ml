@@ -8,7 +8,7 @@ let make ?(name = "STAMP-BGP hybrid") ~deployed () : (module Engine.S) =
     let create sim topo ~dest (c : Engine.config) =
       Hybrid_net.create sim topo ~dest ~deployed ~mrai_base:c.mrai_base
         ~delay_lo:c.delay_lo ~delay_hi:c.delay_hi
-        ~detect_delay:c.detect_delay ()
+        ~detect_delay:c.detect_delay ~trace:c.trace ()
 
     let start = Hybrid_net.start
     let fail_link = Hybrid_net.fail_link

@@ -31,9 +31,12 @@ val create :
   ?delay_lo:float ->
   ?delay_hi:float ->
   ?detect_delay:float ->
+  ?trace:Trace.sink ->
   unit ->
   t
-(** Build routers and channels ({!Session_core}). [detect_delay] (default
+(** Build routers and channels ({!Session_core}). [trace] (default
+    {!Trace.null}) receives the session substrate's events plus
+    per-router decision changes. [detect_delay] (default
     0) postpones the control-plane reaction to every subsequent
     {!fail_link}. *)
 

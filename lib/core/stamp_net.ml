@@ -181,8 +181,19 @@ let recompute t r color ~loss =
     if r.v = t.dest then Some (origin_entry color) else select_entry p.adj_rib_in
   in
   if best' <> p.best then begin
+    let next e = Option.bind e (fun e -> Route.learned_from e.route) in
+    let old_next = next p.best and new_next = next best' in
+    let cause =
+      Color.to_string color
+      ^
+      match (p.best, best') with
+      | _, None -> ":route-loss"
+      | None, Some _ -> ":route-learned"
+      | Some _, Some _ -> ":route-change"
+    in
+    let was_unstable = p.unstable in
     p.best <- best';
-    Session_core.note_change t.core;
+    Session_core.note_decision t.core ~node:r.v ~old_next ~new_next ~cause;
     if loss then begin
       p.unstable <- true;
       p.loss_pending <- true
@@ -190,7 +201,13 @@ let recompute t r color ~loss =
     else begin
       p.unstable <- false;
       p.loss_pending <- false
-    end
+    end;
+    (* instability flips re-colour traffic away from (or back onto) this
+       process: the ET-bit view of the event, for the trace *)
+    if p.unstable <> was_unstable && Session_core.trace_enabled t.core then
+      Session_core.emit_node t.core r.v
+        (Trace.Recolor
+           { color = Color.to_string color; et_ok = not p.unstable })
   end
 
 let receive t r ~from { color; body } =
@@ -219,8 +236,8 @@ let receive t r ~from { color; body } =
 (* --- construction ----------------------------------------------------- *)
 
 let create sim topo ~dest ~coloring ?(mrai_base = 30.) ?(delay_lo = 0.010)
-    ?(delay_hi = 0.020) ?(detect_delay = 0.) ?(spread_unlocked_blue = false) ()
-    =
+    ?(delay_hi = 0.020) ?(detect_delay = 0.) ?(spread_unlocked_blue = false)
+    ?(trace = Trace.null) () =
   let n = Topology.num_vertices topo in
   if dest < 0 || dest >= n then invalid_arg "Stamp_net.create: bad destination";
   let routers =
@@ -243,7 +260,7 @@ let create sim topo ~dest ~coloring ?(mrai_base = 30.) ?(delay_lo = 0.010)
      Color.all order exactly as before *)
   let core =
     Session_core.create ~mrai_base ~delay_lo ~delay_hi ~detect_delay ~procs:2
-      ~who:"Stamp_net" sim topo
+      ~trace ~who:"Stamp_net" sim topo
   in
   let t = { core; topo; dest; coloring; spread_unlocked_blue; routers } in
   Session_core.on_receive core (fun ~src ~dst msg ->

@@ -35,6 +35,7 @@ val create :
   ?delay_hi:float ->
   ?detect_delay:float ->
   ?spread_unlocked_blue:bool ->
+  ?trace:Trace.sink ->
   unit ->
   t
 (** [detect_delay] (default 0) postpones the adjacent routers' reaction to

@@ -4,11 +4,12 @@ type config = {
   delay_lo : float;
   delay_hi : float;
   detect_delay : float;
+  trace : Trace.sink;
 }
 
 let default_config =
   { seed = 0; mrai_base = 30.; delay_lo = 0.010; delay_hi = 0.020;
-    detect_delay = 0. }
+    detect_delay = 0.; trace = Trace.null }
 
 exception Unsupported of { engine : string; what : string }
 

@@ -18,11 +18,15 @@ type config = {
   detect_delay : float;
       (** seconds between a link failing and the adjacent routers reacting
           (0 = instantaneous detection) *)
+  trace : Trace.sink;
+      (** where the engine's session substrate sends structured trace
+          events ({!Trace.null} = tracing off, the default — guaranteed
+          bit-identical to an untraced run) *)
 }
 
 val default_config : config
 (** The paper's parameters: seed 0, MRAI 30 s, delays U[10 ms, 20 ms],
-    instantaneous failure detection. *)
+    instantaneous failure detection, no tracing. *)
 
 exception Unsupported of { engine : string; what : string }
 (** Raised by an engine for an event kind it genuinely cannot model;

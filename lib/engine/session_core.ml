@@ -5,14 +5,31 @@ type 'msg t = {
   links : Link_state.t;
   counters : Counters.t;
   detect_delay : float;
+  trace : Trace.sink;
   chans : (Topology.vertex * Topology.vertex, 'msg Channel.t) Hashtbl.t;
   mrais : (Topology.vertex * Topology.vertex * int, Mrai.t) Hashtbl.t;
   mutable last_change : float;
   mutable handler : src:Topology.vertex -> dst:Topology.vertex -> 'msg -> unit;
 }
 
+(* Trace emission helpers: every call is guarded by [Trace.enabled], so a
+   Null-sink run performs one branch and no allocation per potential
+   event — the zero-cost-when-off contract. Locations are emitted in ASN
+   space (what trace consumers see), not vertex-index space. *)
+let trace_link core u v kind =
+  if Trace.enabled core.trace then
+    Trace.emit core.trace ~vtime:(Sim.now core.sim) ~engine:core.who
+      ~loc:(Trace.Link (Topology.asn core.topo u, Topology.asn core.topo v))
+      kind
+
+let trace_node core v kind =
+  if Trace.enabled core.trace then
+    Trace.emit core.trace ~vtime:(Sim.now core.sim) ~engine:core.who
+      ~loc:(Trace.Node (Topology.asn core.topo v))
+      kind
+
 let create ?(mrai_base = 30.) ?(delay_lo = 0.010) ?(delay_hi = 0.020)
-    ?(detect_delay = 0.) ?(procs = 1) ~who sim topo =
+    ?(detect_delay = 0.) ?(procs = 1) ?(trace = Trace.null) ~who sim topo =
   if detect_delay < 0. || Float.is_nan detect_delay then
     invalid_arg (who ^ ".create: negative detect delay");
   if procs < 1 then invalid_arg (who ^ ".create: non-positive process count");
@@ -24,6 +41,7 @@ let create ?(mrai_base = 30.) ?(delay_lo = 0.010) ?(delay_hi = 0.020)
       links = Link_state.create ~n:(Topology.num_vertices topo);
       counters = Counters.make ();
       detect_delay;
+      trace;
       chans = Hashtbl.create 64;
       mrais = Hashtbl.create 64;
       last_change = 0.;
@@ -43,11 +61,15 @@ let create ?(mrai_base = 30.) ?(delay_lo = 0.010) ?(delay_hi = 0.020)
         (fun (v, _) ->
           let deliver msg =
             (* messages in flight when a link or endpoint fails are lost *)
-            if Link_state.link_up core.links u v then
+            if Link_state.link_up core.links u v then begin
+              trace_link core u v Trace.Deliver;
               core.handler ~src:u ~dst:v msg
-            else
+            end
+            else begin
+              trace_link core u v Trace.Drop;
               core.counters.lost_to_resets <-
                 core.counters.lost_to_resets + 1
+            end
           in
           Hashtbl.replace core.chans (u, v)
             (Channel.create sim ~delay_lo ~delay_hi ~deliver);
@@ -69,13 +91,37 @@ let node_up core v = Link_state.node_up core.links v
 let last_change core = core.last_change
 let note_change core = core.last_change <- Sim.now core.sim
 let message_count core = Counters.messages core.counters
+let trace core = core.trace
+let trace_enabled core = Trace.enabled core.trace
+let emit_node core v kind = trace_node core v kind
+
+let note_decision core ~node ~old_next ~new_next ~cause =
+  core.last_change <- Sim.now core.sim;
+  if Trace.enabled core.trace then
+    Trace.emit core.trace ~vtime:(Sim.now core.sim) ~engine:core.who
+      ~loc:(Trace.Node (Topology.asn core.topo node))
+      (Trace.Decision
+         {
+           old_next = Option.map (Topology.asn core.topo) old_next;
+           new_next = Option.map (Topology.asn core.topo) new_next;
+           cause;
+         })
 
 let send core ~src ~dst ~kind msg =
   (match kind with
   | `Announce ->
     core.counters.announcements <- core.counters.announcements + 1
   | `Withdraw -> core.counters.withdrawals <- core.counters.withdrawals + 1);
-  Channel.send (Hashtbl.find core.chans (src, dst)) msg
+  let chan = Hashtbl.find core.chans (src, dst) in
+  Channel.send chan msg;
+  if Trace.enabled core.trace then
+    trace_link core src dst
+      (Trace.Enqueue
+         {
+           msg = (match kind with `Announce -> Trace.Announce
+                                | `Withdraw -> Trace.Withdraw);
+           deliver_at = Channel.last_delivery chan;
+         })
 
 (* Reconcile what neighbour [dst] should currently hear from [src] with
    what it last heard; send the delta, deferring announcements under MRAI.
@@ -102,10 +148,15 @@ let advertise core ?(proc = 0) ~src ~dst ~rib_out ~desired ~announce ~withdraw
       end
       else begin
         core.counters.mrai_deferrals <- core.counters.mrai_deferrals + 1;
+        if Trace.enabled core.trace then
+          trace_link core src dst
+            (Trace.Mrai_defer { until = Mrai.next_allowed m; proc });
         if not (Mrai.flush_scheduled m) then begin
           Mrai.set_flush_scheduled m true;
           Sim.schedule_at core.sim ~time:(Mrai.next_allowed m) (fun _ ->
               Mrai.set_flush_scheduled m false;
+              if Trace.enabled core.trace then
+                trace_link core src dst (Trace.Mrai_flush { proc });
               retry ())
         end
       end
@@ -120,13 +171,20 @@ let fail_link core u v ~react =
   (* the data plane breaks immediately; the control plane reacts once the
      session failure is detected (hold timers, BFD, ...) *)
   Link_state.fail_link core.links u v;
+  trace_link core u v Trace.Session_reset;
   if core.detect_delay = 0. then react ()
   else Sim.schedule core.sim ~delay:core.detect_delay (fun _ -> react ())
 
 let recover_link core u v ~react =
   check_adjacent core ~op:"recover_link" u v;
   Link_state.recover_link core.links u v;
+  trace_link core u v Trace.Session_up;
   react ()
 
-let fail_node core v = Link_state.fail_node core.links v
-let recover_node core v = Link_state.recover_node core.links v
+let fail_node core v =
+  Link_state.fail_node core.links v;
+  trace_node core v Trace.Session_reset
+
+let recover_node core v =
+  Link_state.recover_node core.links v;
+  trace_node core v Trace.Session_up

@@ -25,6 +25,7 @@ val create :
   ?delay_hi:float ->
   ?detect_delay:float ->
   ?procs:int ->
+  ?trace:Trace.sink ->
   who:string ->
   Sim.t ->
   Topology.t ->
@@ -33,8 +34,15 @@ val create :
     1) is the number of routing processes per router — each gets its own
     MRAI timer per directed link (STAMP runs two). [detect_delay] (default
     0) postpones the control-plane reaction to every subsequent
-    {!fail_link} while the data plane is already broken. [who] prefixes
-    error messages (["Bgp_net.fail_link: vertices not adjacent"]).
+    {!fail_link} while the data plane is already broken. [trace] (default
+    {!Trace.null}) receives the session substrate's structured events —
+    enqueue/deliver/drop per channel, MRAI deferrals and flushes, session
+    resets and decisions ({!note_decision}) — stamped with [who] as engine
+    id and locations in ASN space; with the null sink every emission site
+    reduces to one branch, and traced runs are bit-identical to untraced
+    ones (tracing draws no randomness and schedules nothing). [who]
+    prefixes error messages (["Bgp_net.fail_link: vertices not
+    adjacent"]).
     @raise Invalid_argument on a negative [detect_delay] or non-positive
     [procs]. *)
 
@@ -120,3 +128,26 @@ val last_change : 'msg t -> float
 val note_change : 'msg t -> unit
 (** Engines call this when any router's best route changes; {!last_change}
     is then the convergence instant once the queue drains. *)
+
+(** {1 Tracing} *)
+
+val trace : 'msg t -> Trace.sink
+val trace_enabled : 'msg t -> bool
+
+val note_decision :
+  'msg t ->
+  node:Topology.vertex ->
+  old_next:Topology.vertex option ->
+  new_next:Topology.vertex option ->
+  cause:string ->
+  unit
+(** {!note_change} plus a {!Trace.Decision} event at the router (next hops
+    are translated to ASN space; [None] = no route or the origin's own
+    route). The timestamp side effect is unconditional, so engines can call
+    this at every best-route change whether or not tracing is on. *)
+
+val emit_node : 'msg t -> Topology.vertex -> Trace.kind -> unit
+(** Emit an engine-specific event located at a router (ASN-translated),
+    stamped with the core's [who] and the current virtual time. No-op when
+    tracing is off — but build the kind under {!trace_enabled} if it
+    allocates. *)

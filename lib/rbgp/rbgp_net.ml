@@ -174,12 +174,21 @@ let recompute t r =
     if r.v = t.dest then Some Route.origin else Decision.select_tbl r.adj_rib_in
   in
   if best' <> r.best then begin
+    let old_next = Option.bind r.best Route.learned_from in
+    let cause =
+      match (r.best, best') with
+      | _, None -> "route-loss"
+      | None, Some _ -> "route-learned"
+      | Some _, Some _ -> "route-change"
+    in
     (match (r.best, best') with
     | Some old, None -> r.withdrawn <- Some old
     | _, Some _ -> r.withdrawn <- None
     | None, None -> ());
     r.best <- best';
-    Session_core.note_change t.core;
+    Session_core.note_decision t.core ~node:r.v ~old_next
+      ~new_next:(Option.bind best' Route.learned_from)
+      ~cause;
     advertise_all t r
   end
   else update_failover t r
@@ -212,7 +221,7 @@ let receive t r ~from msg =
   end
 
 let create sim topo ~dest ~rci ?(mrai_base = 30.) ?(delay_lo = 0.010)
-    ?(delay_hi = 0.020) ?(detect_delay = 0.) () =
+    ?(delay_hi = 0.020) ?(detect_delay = 0.) ?(trace = Trace.null) () =
   let n = Topology.num_vertices topo in
   if dest < 0 || dest >= n then invalid_arg "Rbgp_net.create: bad destination";
   let routers =
@@ -231,7 +240,7 @@ let create sim topo ~dest ~rci ?(mrai_base = 30.) ?(delay_lo = 0.010)
         })
   in
   let core =
-    Session_core.create ~mrai_base ~delay_lo ~delay_hi ~detect_delay
+    Session_core.create ~mrai_base ~delay_lo ~delay_hi ~detect_delay ~trace
       ~who:"Rbgp_net" sim topo
   in
   let t = { core; topo; dest; rci; routers } in

@@ -23,3 +23,4 @@ let send t msg =
   Sim.schedule_at t.sim ~time:at (fun _ -> t.deliver msg)
 
 let sent_count t = t.sent
+let last_delivery t = t.last_delivery

@@ -20,3 +20,9 @@ val send : 'a t -> 'a -> unit
 val sent_count : 'a t -> int
 (** Number of messages sent through this channel (for the protocol-overhead
     experiment of Section 6.3). *)
+
+val last_delivery : 'a t -> float
+(** Scheduled delivery instant of the most recently sent message (0 before
+    the first send). Immediately after {!send} this is the just-enqueued
+    message's delivery time — the tracing layer stamps enqueue events with
+    it. *)

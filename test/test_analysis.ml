@@ -199,6 +199,7 @@ let golden_expectations =
          test_staticcheck *)
       diagnostics = [];
       certificate = None;
+      timeline = None;
     }
   in
   [
